@@ -1,0 +1,111 @@
+//! # minobs-bench — experiment harness
+//!
+//! One binary per paper artifact (see DESIGN.md's experiment index), each
+//! printing the regenerated rows and appending machine-readable JSON to
+//! `target/experiments/<id>.json`. Criterion benches measure the
+//! substrate itself (index calculus, engines, connectivity, model
+//! checker) including the ablations DESIGN.md calls out.
+
+use serde::Serialize;
+use std::fmt::Display;
+use std::fs;
+use std::path::PathBuf;
+
+/// A rendered experiment table plus its JSON sink.
+pub struct Report {
+    id: String,
+    header: Vec<String>,
+    widths: Vec<usize>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Starts a report for experiment `id` with column names.
+    pub fn new(id: &str, header: &[&str]) -> Report {
+        Report {
+            id: id.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            widths: header.iter().map(|s| s.len()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row (already stringified).
+    pub fn row(&mut self, cells: &[&dyn Display]) {
+        assert_eq!(cells.len(), self.header.len(), "row arity");
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        for (w, c) in self.widths.iter_mut().zip(&cells) {
+            *w = (*w).max(c.len());
+        }
+        self.rows.push(cells);
+    }
+
+    /// Prints the table and writes the JSON artifact. Returns the JSON
+    /// path when the write succeeded.
+    pub fn finish(self) -> Option<PathBuf> {
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("{}", line(&self.header, &self.widths));
+        println!("{}", "-".repeat(self.widths.iter().sum::<usize>() + 2 * self.widths.len()));
+        for row in &self.rows {
+            println!("{}", line(row, &self.widths));
+        }
+
+        #[derive(Serialize)]
+        struct Artifact<'a> {
+            id: &'a str,
+            header: &'a [String],
+            rows: &'a [Vec<String>],
+        }
+        let artifact = Artifact {
+            id: &self.id,
+            header: &self.header,
+            rows: &self.rows,
+        };
+        let dir = PathBuf::from("target/experiments");
+        fs::create_dir_all(&dir).ok()?;
+        let path = dir.join(format!("{}.json", self.id));
+        let json = serde_json::to_string_pretty(&artifact).ok()?;
+        fs::write(&path, json).ok()?;
+        println!("\n[written {}]", path.display());
+        Some(path)
+    }
+}
+
+/// Formats a boolean as the check glyphs used across experiment tables.
+pub fn mark(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "no"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_and_writes() {
+        let mut r = Report::new("selftest", &["a", "bbb"]);
+        r.row(&[&1, &"x"]);
+        r.row(&[&22, &"yy"]);
+        let path = r.finish().expect("artifact written");
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.contains("selftest"));
+        assert!(text.contains("yy"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut r = Report::new("x", &["a", "b"]);
+        r.row(&[&1]);
+    }
+}

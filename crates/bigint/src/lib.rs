@@ -1,0 +1,52 @@
+//! Minimal arbitrary-precision unsigned integer arithmetic.
+//!
+//! The scenario index function of Fevat & Godard (Definition III.1) maps
+//! words of length `r` over the three-letter alphabet Γ bijectively onto
+//! `[0, 3^r - 1]`. Experiments routinely exercise scenarios hundreds of
+//! rounds long, so index values overflow every primitive integer type.
+//! This crate provides [`UBig`], a small, dependency-free unsigned bignum
+//! tailored to exactly the operations the index calculus needs:
+//!
+//! * addition, subtraction (checked), comparison;
+//! * multiplication by a small word and full schoolbook multiplication;
+//! * the specific affine updates `3·x`, `2·x + y` used by the consensus
+//!   algorithm `A_w` (Algorithm 1 of the paper);
+//! * parity (the sign `(-1)^{ind(u)}` in Definition III.1);
+//! * powers of three, absolute difference, decimal I/O.
+//!
+//! The representation is little-endian base-2³² limbs with no leading zero
+//! limb (canonical form), so equality and ordering are structural.
+
+mod ubig;
+
+pub use ubig::{ParseUBigError, UBig};
+
+/// Returns `3^exp` as a [`UBig`].
+///
+/// This is the size of the index space for words of length `exp`
+/// (Lemma III.2: `ind` is a bijection from `Γ^r` onto `[0, 3^r - 1]`).
+pub fn pow3(exp: u32) -> UBig {
+    UBig::from(3u32).pow(exp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pow3_small_values() {
+        assert_eq!(pow3(0), UBig::from(1u32));
+        assert_eq!(pow3(1), UBig::from(3u32));
+        assert_eq!(pow3(4), UBig::from(81u32));
+        assert_eq!(pow3(20), UBig::from(3486784401u64));
+    }
+
+    #[test]
+    fn pow3_large_is_consistent_with_repeated_mul() {
+        let mut acc = UBig::one();
+        for e in 0..200u32 {
+            assert_eq!(pow3(e), acc);
+            acc = acc.mul_small(3);
+        }
+    }
+}

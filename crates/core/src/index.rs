@@ -1,0 +1,406 @@
+//! The scenario index `ind : Γ* → ℕ` (Definition III.1).
+//!
+//! The index is defined inductively by
+//!
+//! ```text
+//! ind(ε)   = 0
+//! ind(u·a) = 3·ind(u) + (-1)^{ind(u)}·δ(a) + 1
+//! ```
+//!
+//! with `δ(DropWhite) = -1`, `δ(Full) = 0`, `δ(DropBlack) = +1`.
+//!
+//! For each length `r`, `ind` is a bijection from `Γ^r` onto `[0, 3^r - 1]`
+//! (Lemma III.2), with `ind(DropWhite^r) = 0` and
+//! `ind(DropBlack^r) = 3^r - 1` (Proposition III.3). Words whose indexes
+//! differ by exactly one are *indistinguishability neighbours*: one of the
+//! two processes has the same view under both (Lemma III.4 /
+//! Corollary III.5) — this is the engine of both the impossibility proof
+//! and the algorithm `A_w`.
+//!
+//! Index values grow like `3^r`, so the general API returns
+//! [`UBig`]; an incremental [`IndexTracker`] maintains the index of a
+//! growing word in amortized `O(len)` bigint work per letter.
+
+use crate::letter::{GammaLetter, Role};
+use crate::word::GammaWord;
+use minobs_bigint::{pow3, UBig};
+
+/// The index of a finite `Γ`-word (Definition III.1).
+pub fn ind(w: &GammaWord) -> UBig {
+    let mut t = IndexTracker::new();
+    for a in w.iter() {
+        t.push(a);
+    }
+    t.into_value()
+}
+
+/// Parity of `ind(w)` without computing the full value.
+///
+/// From the recurrence, `ind(u·a) ≡ ind(u) + |δ(a)| + 1 (mod 2)`, so the
+/// parity flips exactly on `Full` letters (`δ = 0`).
+pub fn ind_parity_is_even(w: &GammaWord) -> bool {
+    let mut even = true; // ind(ε) = 0
+    for a in w.iter() {
+        if a == GammaLetter::Full {
+            even = !even;
+        }
+    }
+    even
+}
+
+/// The inverse of the index map: the unique `w ∈ Γ^r` with `ind(w) = value`
+/// (Lemma III.2). Returns `None` when `value ≥ 3^r`.
+pub fn ind_inv(r: usize, value: &UBig) -> Option<GammaWord> {
+    if *value >= pow3(r as u32) {
+        return None;
+    }
+    // Peel letters from the right: v = ind(u·a) = 3·ind(u) + (-1)^{ind(u)}·δ(a) + 1.
+    // Writing v - 1 = 3·q + s with s ∈ {-1, 0, +1} (balanced ternary digit),
+    // we get ind(u) = q and δ(a) = (-1)^q · s.
+    let mut letters = vec![GammaLetter::Full; r];
+    let mut v = value.clone();
+    for slot in letters.iter_mut().rev() {
+        // Compute (q, s) with v - 1 = 3q + s, s ∈ {-1,0,1}:
+        // equivalently v = 3q + (s+1), s+1 ∈ {0,1,2}.
+        let (q, rem) = v.div_rem_small(3);
+        let s: i8 = rem as i8 - 1;
+        let delta = if q.is_even() { s } else { -s };
+        *slot = match delta {
+            -1 => GammaLetter::DropWhite,
+            0 => GammaLetter::Full,
+            1 => GammaLetter::DropBlack,
+            _ => unreachable!(),
+        };
+        v = q;
+    }
+    debug_assert!(v.is_zero());
+    Some(GammaWord(letters))
+}
+
+/// Incrementally maintained index of a growing `Γ`-word.
+///
+/// Tracks `ind(w)` and `3^{|w|}` so pushes cost one bigint multiply-add and
+/// neighbour queries need no recomputation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexTracker {
+    value: UBig,
+    len: usize,
+    pow3_len: UBig,
+}
+
+impl Default for IndexTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IndexTracker {
+    /// Tracker for the empty word (`ind(ε) = 0`).
+    pub fn new() -> Self {
+        IndexTracker {
+            value: UBig::zero(),
+            len: 0,
+            pow3_len: UBig::one(),
+        }
+    }
+
+    /// Extends the tracked word by one letter.
+    pub fn push(&mut self, a: GammaLetter) {
+        let signed_delta = if self.value.is_even() {
+            a.delta()
+        } else {
+            -a.delta()
+        };
+        // value = 3*value + signed_delta + 1; signed_delta + 1 ∈ {0, 1, 2}.
+        self.value = self
+            .value
+            .mul_small(3)
+            .add_ref(&UBig::from((signed_delta + 1) as u32));
+        self.len += 1;
+        self.pow3_len = self.pow3_len.mul_small(3);
+    }
+
+    /// The current index `ind(w)`.
+    pub fn value(&self) -> &UBig {
+        &self.value
+    }
+
+    /// Consumes the tracker, returning the index.
+    pub fn into_value(self) -> UBig {
+        self.value
+    }
+
+    /// The length of the tracked word.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff the tracked word is `ε`.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `3^{|w|}`, the size of the index space at the current length.
+    pub fn pow3_len(&self) -> &UBig {
+        &self.pow3_len
+    }
+
+    /// `true` iff `ind(w)` is even.
+    pub fn is_even(&self) -> bool {
+        self.value.is_even()
+    }
+}
+
+/// Which process cannot distinguish two adjacent-index words
+/// (Corollary III.5).
+///
+/// For `v, v' ∈ Γ^r` with `ind(v') = ind(v) + 1`:
+/// * if `ind(v)` is even, **White** has the same state after both
+///   (`s_◻(v) = s_◻(v')`) under any algorithm;
+/// * if `ind(v)` is odd, **Black** does.
+///
+/// Derivation (with our δ orientation, `δ(DropWhite) = -1`): when `ind(v)`
+/// is even, Lemma III.4 says the pair differs either in the last letter
+/// only, with letters in `{(DropWhite, Full), (Full, DropWhite)}` — both of
+/// which deliver Black's message to White identically — or in index-adjacent
+/// prefixes followed by `DropBlack` on both sides, where White receives
+/// `null` on both sides and is confused about the prefixes by induction.
+pub fn confused_process(ind_v_is_even: bool) -> Role {
+    if ind_v_is_even {
+        Role::White
+    } else {
+        Role::Black
+    }
+}
+
+/// The index-order successor word: `ind⁻¹(ind(v) + 1)` at the same length,
+/// or `None` when `v = DropBlack^r` (maximal index).
+pub fn index_successor(v: &GammaWord) -> Option<GammaWord> {
+    let next = ind(v).succ();
+    ind_inv(v.len(), &next)
+}
+
+/// The index-order predecessor word, or `None` when `v = DropWhite^r`.
+pub fn index_predecessor(v: &GammaWord) -> Option<GammaWord> {
+    let prev = ind(v).pred()?;
+    ind_inv(v.len(), &prev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::letter::GammaLetter;
+    use crate::letter::GammaLetter::{DropBlack, DropWhite, Full};
+    use proptest::prelude::*;
+
+    fn gw(s: &str) -> GammaWord {
+        s.parse().unwrap()
+    }
+
+    fn ind_u64(s: &str) -> u64 {
+        ind(&gw(s)).to_u64().unwrap()
+    }
+
+    #[test]
+    fn empty_word_has_index_zero() {
+        assert_eq!(ind(&GammaWord::empty()), UBig::zero());
+    }
+
+    #[test]
+    fn length_one_indexes() {
+        // Figure 1, first column: the three one-letter words carry 0, 1, 2.
+        assert_eq!(ind_u64("w"), 0);
+        assert_eq!(ind_u64("-"), 1);
+        assert_eq!(ind_u64("b"), 2);
+    }
+
+    #[test]
+    fn proposition_iii_3_extremes() {
+        for r in 0..40 {
+            let lo = GammaWord::repeat(DropWhite, r);
+            let hi = GammaWord::repeat(DropBlack, r);
+            assert_eq!(ind(&lo), UBig::zero(), "ind(w^{r}) = 0");
+            assert_eq!(
+                ind(&hi),
+                pow3(r as u32).pred().unwrap(),
+                "ind(b^{r}) = 3^{r} - 1"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma_iii_2_bijection_small_r() {
+        // ind is a bijection Γ^r → [0, 3^r - 1].
+        for r in 0..8usize {
+            let mut seen = vec![false; 3usize.pow(r as u32)];
+            for w in GammaWord::enumerate_all(r) {
+                let v = ind(&w).to_u64().unwrap() as usize;
+                assert!(v < seen.len(), "index in range");
+                assert!(!seen[v], "index is injective");
+                seen[v] = true;
+            }
+            assert!(seen.iter().all(|&b| b), "index is surjective");
+        }
+    }
+
+    #[test]
+    fn ind_inv_roundtrip_small_r() {
+        for r in 0..7usize {
+            for w in GammaWord::enumerate_all(r) {
+                assert_eq!(ind_inv(r, &ind(&w)), Some(w));
+            }
+        }
+    }
+
+    #[test]
+    fn ind_inv_rejects_out_of_range() {
+        assert_eq!(ind_inv(2, &UBig::from(9u32)), None);
+        assert_eq!(ind_inv(0, &UBig::from(1u32)), None);
+        assert_eq!(ind_inv(0, &UBig::zero()), Some(GammaWord::empty()));
+    }
+
+    #[test]
+    fn figure_1_length_two_table() {
+        // Reproduces Figure 1 of the paper: indexes of all words of length 2
+        // (reconstructed from the recurrence; the paper's glyphs are
+        // orientation-symmetric, our canonical orientation puts DropWhite
+        // low). The essential shape: ww ↦ 0, bb ↦ 8, and each value in
+        // 0..=8 hit exactly once.
+        let table: Vec<(String, u64)> = GammaWord::enumerate_all(2)
+            .map(|w| (w.to_string(), ind(&w).to_u64().unwrap()))
+            .collect();
+        let lookup = |s: &str| table.iter().find(|(t, _)| t == s).unwrap().1;
+        assert_eq!(lookup("ww"), 0);
+        assert_eq!(lookup("bb"), 8);
+        // The recurrence at work: ind(-)=1 odd, so the second letter's δ is
+        // negated: ind("-w") = 3·1 + (−1)^1·(−1) + 1 = 5.
+        assert_eq!(lookup("-w"), 5);
+        assert_eq!(lookup("--"), 4);
+        assert_eq!(lookup("-b"), 3);
+        assert_eq!(lookup("w-"), 1);
+        assert_eq!(lookup("wb"), 2);
+        assert_eq!(lookup("b-"), 7);
+        assert_eq!(lookup("bw"), 6);
+    }
+
+    #[test]
+    fn tracker_matches_batch_index() {
+        let w = gw("-wb-bw-wbb");
+        let mut t = IndexTracker::new();
+        for (i, a) in w.iter().enumerate() {
+            t.push(a);
+            assert_eq!(*t.value(), ind(&w.prefix(i + 1)));
+            assert_eq!(t.len(), i + 1);
+        }
+        assert_eq!(*t.pow3_len(), pow3(w.len() as u32));
+    }
+
+    #[test]
+    fn lemma_iii_4_adjacent_words_share_a_view() {
+        // For every adjacent pair (v, v') with ind(v') = ind(v)+1, exactly
+        // one of the cases of Lemma III.4 applies: either they differ only
+        // in the last letter in one of the two prescribed patterns, or their
+        // length-(r-1) prefixes are adjacent and the last letters are the
+        // prescribed constant pair.
+        for r in 1..6usize {
+            for v in GammaWord::enumerate_all(r) {
+                let Some(v2) = index_successor(&v) else {
+                    continue;
+                };
+                let u = v.prefix(r - 1);
+                let u2 = v2.prefix(r - 1);
+                let a = v.get(r - 1).unwrap();
+                let b = v2.get(r - 1).unwrap();
+                let even = ind(&v).is_even();
+                if u == u2 {
+                    // Same prefix: last letters are a δ-adjacent pair whose
+                    // shared delivery direction is fixed by the parity of
+                    // ind(v).
+                    if even {
+                        assert!(
+                            (a, b) == (DropWhite, Full) || (a, b) == (Full, DropWhite),
+                            "r={r} v={v} v'={v2}"
+                        );
+                    } else {
+                        assert!(
+                            (a, b) == (Full, DropBlack) || (a, b) == (DropBlack, Full),
+                            "r={r} v={v} v'={v2}"
+                        );
+                    }
+                } else {
+                    // Index-adjacent prefixes followed by the same extremal
+                    // letter on both sides.
+                    assert_eq!(ind(&u2), ind(&u).succ(), "prefixes adjacent");
+                    if even {
+                        assert_eq!((a, b), (DropBlack, DropBlack), "r={r} v={v}");
+                    } else {
+                        assert_eq!((a, b), (DropWhite, DropWhite), "r={r} v={v}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn successor_predecessor_inverse() {
+        for r in 0..5usize {
+            for w in GammaWord::enumerate_all(r) {
+                if let Some(s) = index_successor(&w) {
+                    assert_eq!(index_predecessor(&s), Some(w.clone()));
+                }
+                if let Some(p) = index_predecessor(&w) {
+                    assert_eq!(index_successor(&p), Some(w.clone()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extremes_have_no_neighbour_beyond() {
+        let lo = GammaWord::repeat(DropWhite, 5);
+        let hi = GammaWord::repeat(DropBlack, 5);
+        assert_eq!(index_predecessor(&lo), None);
+        assert_eq!(index_successor(&hi), None);
+    }
+
+    #[test]
+    fn confused_process_alternates_with_parity() {
+        assert_eq!(confused_process(true), Role::White);
+        assert_eq!(confused_process(false), Role::Black);
+    }
+
+    fn arb_gamma_word(max_len: usize) -> impl Strategy<Value = GammaWord> {
+        proptest::collection::vec(0usize..3, 0..max_len)
+            .prop_map(|ds| GammaWord(ds.into_iter().map(|d| GammaLetter::ALL[d]).collect()))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_index_in_range(w in arb_gamma_word(64)) {
+            let v = ind(&w);
+            prop_assert!(v < pow3(w.len() as u32));
+        }
+
+        #[test]
+        fn prop_ind_inv_roundtrip(w in arb_gamma_word(64)) {
+            prop_assert_eq!(ind_inv(w.len(), &ind(&w)), Some(w));
+        }
+
+        #[test]
+        fn prop_tracker_matches_batch(w in arb_gamma_word(48)) {
+            let mut t = IndexTracker::new();
+            for a in w.iter() { t.push(a); }
+            prop_assert_eq!(t.into_value(), ind(&w));
+        }
+
+        #[test]
+        fn prop_prefix_monotone_scaling(w in arb_gamma_word(32), a in 0usize..3) {
+            // Appending any letter multiplies the index by 3 up to ±1 + 1:
+            // |ind(w·a) - 3·ind(w) - 1| ≤ 1.
+            let letter = GammaLetter::ALL[a];
+            let base = ind(&w).mul_small(3).succ();
+            let ext = ind(&w.push(letter));
+            prop_assert!(base.abs_diff(&ext) <= UBig::one());
+        }
+    }
+}

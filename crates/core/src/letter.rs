@@ -1,0 +1,331 @@
+//! The omission alphabets `Σ` and `Γ` (Definition II.1).
+//!
+//! A letter describes what the environment does to the two messages of one
+//! synchronous round. The paper draws letters as directed graphs on
+//! `Π = {◻, ◼}`; we name them by effect:
+//!
+//! | paper glyph | here | meaning |
+//! |---|---|---|
+//! | `⇄` | [`Letter::Full`] | no message is lost |
+//! | `→` dropped from ◻ | [`Letter::DropWhite`] | White's message is not transmitted |
+//! | `←` dropped from ◼ | [`Letter::DropBlack`] | Black's message is not transmitted |
+//! | no edges | [`Letter::DropBoth`] | both messages are lost (double omission) |
+//!
+//! `Γ = Σ \ {DropBoth}` is the sub-alphabet *without double omission*; all
+//! of Section III works inside `Γ`.
+//!
+//! The textual encoding used throughout (parsing, `Display`, test vectors):
+//! `-` = `Full`, `w` = `DropWhite`, `b` = `DropBlack`, `x` = `DropBoth`.
+
+use std::fmt;
+
+/// One of the two processes of the Coordinated Attack Problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Role {
+    /// General White, `◻` in the paper.
+    White,
+    /// General Black, `◼` in the paper.
+    Black,
+}
+
+impl Role {
+    /// The other process.
+    pub fn other(self) -> Role {
+        match self {
+            Role::White => Role::Black,
+            Role::Black => Role::White,
+        }
+    }
+
+    /// Both roles, in canonical order.
+    pub const BOTH: [Role; 2] = [Role::White, Role::Black];
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Role::White => f.write_str("White"),
+            Role::Black => f.write_str("Black"),
+        }
+    }
+}
+
+/// A letter of the full alphabet `Σ`: the fault pattern of one round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Letter {
+    /// Both messages are delivered.
+    Full,
+    /// White's message is lost: Black's `receive` returns `null`.
+    DropWhite,
+    /// Black's message is lost: White's `receive` returns `null`.
+    DropBlack,
+    /// Both messages are lost (the double omission, `Σ \ Γ`).
+    DropBoth,
+}
+
+/// A letter of the restricted alphabet `Γ = {Full, DropWhite, DropBlack}`.
+///
+/// Section III of the paper characterizes obstructions among schemes over
+/// `Γ^ω`, i.e. schemes in which the double simultaneous omission never
+/// happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GammaLetter {
+    /// Both messages are delivered.
+    Full,
+    /// White's message is lost.
+    DropWhite,
+    /// Black's message is lost.
+    DropBlack,
+}
+
+impl Letter {
+    /// All four letters of `Σ`, in canonical order.
+    pub const ALL: [Letter; 4] = [
+        Letter::Full,
+        Letter::DropWhite,
+        Letter::DropBlack,
+        Letter::DropBoth,
+    ];
+
+    /// Does the message sent *by* `sender` get through this round?
+    pub fn delivers_from(self, sender: Role) -> bool {
+        match (self, sender) {
+            (Letter::Full, _) => true,
+            (Letter::DropWhite, Role::White) => false,
+            (Letter::DropWhite, Role::Black) => true,
+            (Letter::DropBlack, Role::White) => true,
+            (Letter::DropBlack, Role::Black) => false,
+            (Letter::DropBoth, _) => false,
+        }
+    }
+
+    /// Does `receiver` get the opposite process's message this round?
+    pub fn delivers_to(self, receiver: Role) -> bool {
+        self.delivers_from(receiver.other())
+    }
+
+    /// Is this letter's fault pattern a loss of `role`'s message?
+    pub fn drops_from(self, role: Role) -> bool {
+        !self.delivers_from(role)
+    }
+
+    /// `true` for letters of `Γ` (at most one message lost).
+    pub fn is_gamma(self) -> bool {
+        self != Letter::DropBoth
+    }
+
+    /// Downcast to `Γ`, or `None` for the double omission.
+    pub fn to_gamma(self) -> Option<GammaLetter> {
+        match self {
+            Letter::Full => Some(GammaLetter::Full),
+            Letter::DropWhite => Some(GammaLetter::DropWhite),
+            Letter::DropBlack => Some(GammaLetter::DropBlack),
+            Letter::DropBoth => None,
+        }
+    }
+
+    /// The canonical one-character encoding (`-`, `w`, `b`, `x`).
+    pub fn to_char(self) -> char {
+        match self {
+            Letter::Full => '-',
+            Letter::DropWhite => 'w',
+            Letter::DropBlack => 'b',
+            Letter::DropBoth => 'x',
+        }
+    }
+
+    /// Parse the one-character encoding. `.` is accepted as an alias of `-`.
+    pub fn from_char(c: char) -> Option<Letter> {
+        match c {
+            '-' | '.' => Some(Letter::Full),
+            'w' => Some(Letter::DropWhite),
+            'b' => Some(Letter::DropBlack),
+            'x' => Some(Letter::DropBoth),
+            _ => None,
+        }
+    }
+}
+
+impl GammaLetter {
+    /// All three letters of `Γ`, in canonical order.
+    pub const ALL: [GammaLetter; 3] = [
+        GammaLetter::Full,
+        GammaLetter::DropWhite,
+        GammaLetter::DropBlack,
+    ];
+
+    /// The `δ` weight of Definition III.1.
+    ///
+    /// `δ(DropWhite) = -1`, `δ(Full) = 0`, `δ(DropBlack) = +1`, so that
+    /// `ind(DropWhite^r) = 0` and `ind(DropBlack^r) = 3^r - 1`
+    /// (Proposition III.3 with White in the role of `◁`).
+    pub fn delta(self) -> i8 {
+        match self {
+            GammaLetter::DropWhite => -1,
+            GammaLetter::Full => 0,
+            GammaLetter::DropBlack => 1,
+        }
+    }
+
+    /// Upcast into the full alphabet `Σ`.
+    pub fn to_letter(self) -> Letter {
+        match self {
+            GammaLetter::Full => Letter::Full,
+            GammaLetter::DropWhite => Letter::DropWhite,
+            GammaLetter::DropBlack => Letter::DropBlack,
+        }
+    }
+
+    /// Does the message sent *by* `sender` get through this round?
+    pub fn delivers_from(self, sender: Role) -> bool {
+        self.to_letter().delivers_from(sender)
+    }
+
+    /// Does `receiver` get the opposite process's message this round?
+    pub fn delivers_to(self, receiver: Role) -> bool {
+        self.to_letter().delivers_to(receiver)
+    }
+
+    /// The canonical one-character encoding (`-`, `w`, `b`).
+    pub fn to_char(self) -> char {
+        self.to_letter().to_char()
+    }
+
+    /// Parse the one-character encoding; rejects `x`.
+    pub fn from_char(c: char) -> Option<GammaLetter> {
+        Letter::from_char(c).and_then(Letter::to_gamma)
+    }
+
+    /// The letter that drops `role`'s message.
+    pub fn dropping(role: Role) -> GammaLetter {
+        match role {
+            Role::White => GammaLetter::DropWhite,
+            Role::Black => GammaLetter::DropBlack,
+        }
+    }
+}
+
+impl From<GammaLetter> for Letter {
+    fn from(g: GammaLetter) -> Letter {
+        g.to_letter()
+    }
+}
+
+impl TryFrom<Letter> for GammaLetter {
+    type Error = ();
+    fn try_from(l: Letter) -> Result<GammaLetter, ()> {
+        l.to_gamma().ok_or(())
+    }
+}
+
+impl fmt::Display for Letter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+impl fmt::Display for GammaLetter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_other_is_an_involution() {
+        for r in Role::BOTH {
+            assert_eq!(r.other().other(), r);
+            assert_ne!(r.other(), r);
+        }
+    }
+
+    #[test]
+    fn full_delivers_everything() {
+        for r in Role::BOTH {
+            assert!(Letter::Full.delivers_from(r));
+            assert!(Letter::Full.delivers_to(r));
+        }
+    }
+
+    #[test]
+    fn drop_both_delivers_nothing() {
+        for r in Role::BOTH {
+            assert!(!Letter::DropBoth.delivers_from(r));
+            assert!(!Letter::DropBoth.delivers_to(r));
+        }
+    }
+
+    #[test]
+    fn drop_white_semantics() {
+        // White's message is lost: Black receives null, White still hears Black.
+        assert!(!Letter::DropWhite.delivers_from(Role::White));
+        assert!(Letter::DropWhite.delivers_from(Role::Black));
+        assert!(!Letter::DropWhite.delivers_to(Role::Black));
+        assert!(Letter::DropWhite.delivers_to(Role::White));
+    }
+
+    #[test]
+    fn drop_black_semantics() {
+        assert!(!Letter::DropBlack.delivers_from(Role::Black));
+        assert!(Letter::DropBlack.delivers_from(Role::White));
+        assert!(!Letter::DropBlack.delivers_to(Role::White));
+        assert!(Letter::DropBlack.delivers_to(Role::Black));
+    }
+
+    #[test]
+    fn gamma_excludes_exactly_the_double_omission() {
+        let gammas: Vec<_> = Letter::ALL.iter().filter(|l| l.is_gamma()).collect();
+        assert_eq!(gammas.len(), 3);
+        assert!(Letter::DropBoth.to_gamma().is_none());
+        for g in GammaLetter::ALL {
+            assert_eq!(g.to_letter().to_gamma(), Some(g));
+        }
+    }
+
+    #[test]
+    fn delta_weights_match_definition() {
+        assert_eq!(GammaLetter::DropWhite.delta(), -1);
+        assert_eq!(GammaLetter::Full.delta(), 0);
+        assert_eq!(GammaLetter::DropBlack.delta(), 1);
+    }
+
+    #[test]
+    fn char_roundtrip_sigma() {
+        for l in Letter::ALL {
+            assert_eq!(Letter::from_char(l.to_char()), Some(l));
+        }
+        assert_eq!(Letter::from_char('.'), Some(Letter::Full));
+        assert_eq!(Letter::from_char('?'), None);
+    }
+
+    #[test]
+    fn char_roundtrip_gamma() {
+        for g in GammaLetter::ALL {
+            assert_eq!(GammaLetter::from_char(g.to_char()), Some(g));
+        }
+        assert_eq!(GammaLetter::from_char('x'), None);
+    }
+
+    #[test]
+    fn dropping_constructor() {
+        assert_eq!(GammaLetter::dropping(Role::White), GammaLetter::DropWhite);
+        assert_eq!(GammaLetter::dropping(Role::Black), GammaLetter::DropBlack);
+        for r in Role::BOTH {
+            assert!(!GammaLetter::dropping(r).delivers_from(r));
+            assert!(GammaLetter::dropping(r).delivers_from(r.other()));
+        }
+    }
+
+    #[test]
+    fn gamma_delivery_agrees_with_sigma() {
+        for g in GammaLetter::ALL {
+            for r in Role::BOTH {
+                assert_eq!(g.delivers_from(r), g.to_letter().delivers_from(r));
+                assert_eq!(g.delivers_to(r), g.to_letter().delivers_to(r));
+            }
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! # minobs-core — omission schemes for the Coordinated Attack Problem
+//!
+//! An executable rendition of Fevat & Godard, *"Minimal Obstructions for the
+//! Coordinated Attack Problem and Beyond"* (IPPS 2011).
+//!
+//! Two synchronous processes, **White** (`◻`) and **Black** (`◼`), exchange
+//! one message each per round. The *environment* decides, per round, which
+//! of the two messages are lost. The paper's central objects:
+//!
+//! * a per-round fault pattern is a [`Letter`] from the four-letter alphabet
+//!   `Σ`; the sub-alphabet `Γ` ([`GammaLetter`]) excludes the simultaneous
+//!   double omission;
+//! * an infinite sequence of letters is a *communication scenario*
+//!   ([`Scenario`] — represented as an ultimately periodic lasso `u·v^ω`);
+//! * an arbitrary set of scenarios is an *omission scheme*
+//!   ([`scheme::OmissionScheme`]); the paper's catalog of classic schemes
+//!   (Examples II.5–II.11) lives in [`scheme::classic`];
+//! * a scheme is *solvable* when some algorithm solves Uniform Consensus for
+//!   two processes against every scenario of the scheme, and an
+//!   *obstruction* otherwise.
+//!
+//! The headline results reproduced here:
+//!
+//! * the scenario index calculus `ind : Γ* → [0, 3^r-1]`
+//!   ([`index`], Definition III.1, Lemmas III.2/III.4);
+//! * *special pairs* of unfair scenarios ([`spair`], Definition III.7);
+//! * the full characterization of solvable schemes without double omission
+//!   ([`theorem`], Theorem III.8), with witness extraction;
+//! * the explicit consensus algorithm `A_w` ([`algorithm`], Algorithm 1),
+//!   its early-stopping variant (Proposition III.15) and the intuitive
+//!   algorithm for the almost-fair scheme (Corollary IV.1);
+//! * a synchronous two-process execution engine ([`engine`]) that runs any
+//!   protocol against any scenario and audits the consensus properties;
+//! * minimal-obstruction analysis ([`minimal`], Section IV-C).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use minobs_core::prelude::*;
+//!
+//! // "At most one of the two processes ever loses messages" —
+//! // environment 5 of Section II-A2. Solvable per Theorem III.8.
+//! let s1 = classic::s1();
+//! let verdict = decide_classic(&s1);
+//! assert!(verdict.is_solvable());
+//!
+//! // Run the paper's algorithm A_w against a scenario of S1 and check
+//! // agreement + validity.
+//! let w = verdict.witness().expect("solvable schemes carry a witness");
+//! let scenario: Scenario = "ww(-)".parse().unwrap(); // two White losses, then clean
+//! let outcome = run_two_process(
+//!     &mut AwProcess::new(Role::White, true, w.clone()),
+//!     &mut AwProcess::new(Role::Black, false, w.clone()),
+//!     &scenario,
+//!     64,
+//! );
+//! outcome.verdict.expect_consensus();
+//! ```
+
+pub mod algorithm;
+pub mod engine;
+pub mod index;
+pub mod letter;
+pub mod minimal;
+pub mod scenario;
+pub mod scheme;
+pub mod spair;
+pub mod theorem;
+pub mod valency;
+pub mod word;
+
+pub mod prelude {
+    //! Convenience re-exports of the most commonly used items.
+    pub use crate::algorithm::{AwProcess, EarlyStoppingAw, IntuitiveAlmostFair};
+    pub use crate::engine::{run_two_process, Outcome, TwoProcessProtocol, Verdict};
+    pub use crate::index::{ind, ind_inv, IndexTracker};
+    pub use crate::letter::{GammaLetter, Letter, Role};
+    pub use crate::scenario::Scenario;
+    pub use crate::scheme::{classic, ClassicScheme, GammaScheme, OmissionScheme};
+    pub use crate::spair::{is_special_pair, special_partner};
+    pub use crate::theorem::{decide_classic, decide_gamma, Solvability};
+    pub use crate::word::{GammaWord, Word};
+}
+
+pub use prelude::*;

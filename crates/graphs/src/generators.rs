@@ -1,0 +1,313 @@
+//! Generators for the graph families swept by the Section V experiments.
+
+use crate::graph::Graph;
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt as _};
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::empty(n);
+    for u in 0..n {
+        for v in u + 1..n {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// The cycle `C_n` (`n ≥ 3`).
+///
+/// # Panics
+/// Panics for `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 vertices");
+    Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n)))
+}
+
+/// The path `P_n` (`n ≥ 2`).
+pub fn path(n: usize) -> Graph {
+    assert!(n >= 2, "a path needs at least 2 vertices");
+    Graph::from_edges(n, (0..n - 1).map(|i| (i, i + 1)))
+}
+
+/// The star `K_{1,n-1}` with center 0.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 2, "a star needs at least 2 vertices");
+    Graph::from_edges(n, (1..n).map(|i| (0, i)))
+}
+
+/// The `rows × cols` grid.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 1 && cols >= 1);
+    let id = |r: usize, c: usize| r * cols + c;
+    let mut g = Graph::empty(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                g.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    g
+}
+
+/// The `rows × cols` torus (wrap-around grid; needs ≥ 3 per dimension to
+/// stay simple).
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus needs ≥ 3 per dimension");
+    let id = |r: usize, c: usize| r * cols + c;
+    let mut g = Graph::empty(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            g.add_edge(id(r, c), id(r, (c + 1) % cols));
+            g.add_edge(id(r, c), id((r + 1) % rows, c));
+        }
+    }
+    g
+}
+
+/// The `d`-dimensional hypercube `Q_d` on `2^d` vertices.
+pub fn hypercube(d: u32) -> Graph {
+    let n = 1usize << d;
+    let mut g = Graph::empty(n);
+    for v in 0..n {
+        for bit in 0..d {
+            let u = v ^ (1 << bit);
+            if u > v {
+                g.add_edge(v, u);
+            }
+        }
+    }
+    g
+}
+
+/// The complete bipartite graph `K_{a,b}`.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut g = Graph::empty(a + b);
+    for u in 0..a {
+        for v in 0..b {
+            g.add_edge(u, a + v);
+        }
+    }
+    g
+}
+
+/// A barbell: two disjoint `K_m` joined by `bridges` vertex-disjoint
+/// bridge edges. The canonical `c(G) < deg(G)` family of Section V
+/// (`c = bridges`, `deg = m - 1` for `bridges < m`).
+///
+/// # Panics
+/// Panics when `bridges > m` (not enough distinct endpoints) or `m < 2`.
+pub fn barbell(m: usize, bridges: usize) -> Graph {
+    assert!(m >= 2, "barbell cliques need ≥ 2 vertices");
+    assert!(bridges >= 1 && bridges <= m, "1 ≤ bridges ≤ m required");
+    let mut g = Graph::empty(2 * m);
+    for u in 0..m {
+        for v in u + 1..m {
+            g.add_edge(u, v);
+            g.add_edge(m + u, m + v);
+        }
+    }
+    for i in 0..bridges {
+        g.add_edge(i, m + i);
+    }
+    g
+}
+
+/// A theta graph: two hub vertices joined by `paths` internally disjoint
+/// paths, each with `inner` internal vertices.
+///
+/// # Panics
+/// Panics for fewer than 2 paths or 1 inner vertex (keeps the graph
+/// simple).
+pub fn theta(paths: usize, inner: usize) -> Graph {
+    assert!(paths >= 2 && inner >= 1);
+    let n = 2 + paths * inner;
+    let mut g = Graph::empty(n);
+    let (s, t) = (0, 1);
+    for p in 0..paths {
+        let base = 2 + p * inner;
+        g.add_edge(s, base);
+        for k in 0..inner - 1 {
+            g.add_edge(base + k, base + k + 1);
+        }
+        g.add_edge(base + inner - 1, t);
+    }
+    g
+}
+
+/// The Petersen graph.
+pub fn petersen() -> Graph {
+    let mut g = Graph::empty(10);
+    for i in 0..5 {
+        g.add_edge(i, (i + 1) % 5); // outer cycle
+        g.add_edge(5 + i, 5 + (i + 2) % 5); // inner pentagram
+        g.add_edge(i, 5 + i); // spokes
+    }
+    g
+}
+
+/// Erdős–Rényi `G(n, p)`.
+pub fn gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
+    let mut g = Graph::empty(n);
+    for u in 0..n {
+        for v in u + 1..n {
+            if rng.random_bool(p) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// A connected `G(n, p)`: resamples until connected (caller should keep
+/// `p` comfortably above the connectivity threshold).
+///
+/// # Panics
+/// Panics after 1000 failed attempts.
+pub fn gnp_connected<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
+    for _ in 0..1000 {
+        let g = gnp(n, p, rng);
+        if crate::connectivity::is_connected(&g) {
+            return g;
+        }
+    }
+    panic!("could not sample a connected G({n}, {p}) in 1000 attempts");
+}
+
+/// A random `d`-regular graph via the configuration model with rejection
+/// (no self-loops or multi-edges). `n·d` must be even.
+///
+/// # Panics
+/// Panics on parity violation or after 1000 failed attempts.
+pub fn random_regular<R: Rng>(n: usize, d: usize, rng: &mut R) -> Graph {
+    assert!((n * d).is_multiple_of(2), "n·d must be even");
+    assert!(d < n, "degree must be below n");
+    'attempt: for _ in 0..1000 {
+        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+        stubs.shuffle(rng);
+        let mut g = Graph::empty(n);
+        for pair in stubs.chunks(2) {
+            let (u, v) = (pair[0], pair[1]);
+            if u == v || g.has_edge(u, v) {
+                continue 'attempt;
+            }
+            g.add_edge(u, v);
+        }
+        return g;
+    }
+    panic!("could not sample a simple {d}-regular graph on {n} vertices");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::{is_connected, min_degree};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn complete_counts() {
+        let g = complete(6);
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(min_degree(&g), 5);
+    }
+
+    #[test]
+    fn cycle_counts() {
+        let g = cycle(5);
+        assert_eq!(g.edge_count(), 5);
+        assert!((0..5).all(|v| g.degree(v) == 2));
+    }
+
+    #[test]
+    fn path_and_star_shapes() {
+        assert_eq!(path(4).edge_count(), 3);
+        let s = star(5);
+        assert_eq!(s.degree(0), 4);
+        assert!((1..5).all(|v| s.degree(v) == 1));
+    }
+
+    #[test]
+    fn grid_counts() {
+        let g = grid(3, 4);
+        assert_eq!(g.vertex_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4); // horizontal + vertical
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn torus_is_4_regular() {
+        let g = torus(3, 5);
+        assert!((0..15).all(|v| g.degree(v) == 4));
+    }
+
+    #[test]
+    fn hypercube_is_d_regular() {
+        let g = hypercube(4);
+        assert_eq!(g.vertex_count(), 16);
+        assert_eq!(g.edge_count(), 32);
+        assert!((0..16).all(|v| g.degree(v) == 4));
+    }
+
+    #[test]
+    fn barbell_shape() {
+        let g = barbell(4, 2);
+        assert_eq!(g.vertex_count(), 8);
+        assert_eq!(g.edge_count(), 6 + 6 + 2);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "bridges ≤ m")]
+    fn barbell_too_many_bridges() {
+        let _ = barbell(3, 4);
+    }
+
+    #[test]
+    fn theta_shape() {
+        let g = theta(3, 2);
+        assert_eq!(g.vertex_count(), 8);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(1), 3);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn petersen_is_cubic() {
+        let g = petersen();
+        assert_eq!(g.edge_count(), 15);
+        assert!((0..10).all(|v| g.degree(v) == 3));
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(gnp(6, 0.0, &mut rng).edge_count(), 0);
+        assert_eq!(gnp(6, 1.0, &mut rng).edge_count(), 15);
+    }
+
+    #[test]
+    fn gnp_connected_is_connected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = gnp_connected(12, 0.4, &mut rng);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn random_regular_is_regular() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = random_regular(10, 3, &mut rng);
+        assert!((0..10).all(|v| g.degree(v) == 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn random_regular_parity_check() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = random_regular(5, 3, &mut rng);
+    }
+}

@@ -1,0 +1,43 @@
+//! # minobs-graphs — graph substrate for Section V
+//!
+//! Section V of Fevat & Godard extends the omission-scheme analysis to
+//! synchronous networks of arbitrary topology, proving that Consensus with
+//! at most `f` message losses per round is solvable on a connected graph
+//! `G` **iff** `f < c(G)`, the edge connectivity.
+//!
+//! This crate provides everything that theorem needs, built from scratch:
+//!
+//! * [`Graph`] — a simple undirected graph with stable vertex ids and both
+//!   edge-list and adjacency views; [`DirectedEdge`]s for the per-round
+//!   omission patterns of `Σ_G`;
+//! * [`generators`] — the graph families the experiments sweep (complete,
+//!   cycle, path, star, grid, torus, hypercube, barbell, theta, complete
+//!   bipartite, random `G(n,p)`, random regular, Petersen);
+//! * [`flow`] — Dinic max-flow on unit-capacity networks;
+//! * [`connectivity`] — edge connectivity `c(G)`, a concrete minimum edge
+//!   cut, connectedness, components, minimum degree;
+//! * [`partition`] — the 3-partition `(A, B, C)` of the edges around a
+//!   minimum cut used in the proof of Theorem V.1, with paired cut
+//!   endpoints `(a_i, b_i)`.
+//!
+//! ```
+//! use minobs_graphs::{cut_partition, edge_connectivity, generators, min_degree};
+//!
+//! // The Santoro–Widmayer gap family: c(G) < deg(G).
+//! let g = generators::barbell(5, 2);
+//! assert_eq!(edge_connectivity(&g), 2);
+//! assert_eq!(min_degree(&g), 4);
+//! let p = cut_partition(&g).unwrap();
+//! assert_eq!(p.f(), 2);
+//! assert_eq!(p.side_a.len() + p.side_b.len(), g.vertex_count());
+//! ```
+
+pub mod connectivity;
+pub mod flow;
+pub mod generators;
+pub mod graph;
+pub mod partition;
+
+pub use connectivity::{components, edge_connectivity, is_connected, min_degree, min_edge_cut};
+pub use graph::{DirectedEdge, Edge, Graph};
+pub use partition::{cut_partition, CutPartition};

@@ -1,0 +1,47 @@
+//! # minobs-net — consensus on arbitrary networks (Section V)
+//!
+//! Theorem V.1: on a connected graph `G` with at most `f` message losses
+//! per round, Consensus is solvable **iff** `f < c(G)`. This crate holds
+//! both directions, executably:
+//!
+//! * [`flood`] — the possibility side: a broadcast/flooding consensus that
+//!   decides in `n - 1` rounds whenever `f < c(G)` (the Santoro–Widmayer
+//!   style algorithm the paper cites);
+//! * [`reduction`] — the impossibility side's machinery: the bijection `ρ`
+//!   between `Γ_C` (cut letters on `G`) and `Γ` (two-process letters), and
+//!   the emulation Algorithms 2–3 that fold a network algorithm on `G`
+//!   into a two-process algorithm, round for round;
+//! * [`alg_l`] — Algorithm 4 (`A_L`): the representatives `a₁, b₁` run the
+//!   two-process `A_w` across the cut link and flood the decision through
+//!   their connected sides;
+//! * [`scheme_net`] — the network omission schemes `O_f^ω` and `Γ_C^ω` as
+//!   checkable script predicates.
+//!
+//! ```
+//! use minobs_graphs::{edge_connectivity, generators};
+//! use minobs_net::{DecisionRule, FloodConsensus};
+//! use minobs_sim::adversary::{BudgetChecked, RandomOmissions};
+//! use minobs_sim::network::run_network;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! // Theorem V.1, possibility side: f < c(G) ⇒ flooding decides in n-1
+//! // rounds under any O_f adversary.
+//! let g = generators::torus(3, 3);
+//! let f = edge_connectivity(&g) - 1;
+//! let inputs: Vec<u64> = (0..9).collect();
+//! let nodes = FloodConsensus::fleet(&g, &inputs, DecisionRule::ValueOfMinId);
+//! let mut adv = BudgetChecked::new(RandomOmissions::new(f, StdRng::seed_from_u64(1)), f);
+//! let out = run_network(&g, nodes, &mut adv, 20);
+//! assert_eq!(out.verdict.expect_consensus(), 0);
+//! assert_eq!(out.stats.rounds, 8); // n - 1
+//! ```
+
+pub mod alg_l;
+pub mod flood;
+pub mod reduction;
+pub mod scheme_net;
+
+pub use alg_l::AlgorithmL;
+pub use flood::{DecisionRule, FloodConsensus};
+pub use reduction::{rho, rho_inverse, EmulatedSide};

@@ -1,0 +1,42 @@
+//! # minobs-omega — ω-automata machinery for omission schemes
+//!
+//! The paper remarks that "all communication schemes we are aware of are
+//! regular". This crate makes that observation operational: it represents
+//! omission schemes as **conjunctions of deterministic ω-automata
+//! obligations** (Büchi or co-Büchi accepted), and decides the Theorem
+//! III.8 conditions for *any* such scheme by automata-theoretic emptiness:
+//!
+//! * membership of ultimately periodic scenarios ([`auto`]);
+//! * emptiness of obligation products with lasso witness extraction
+//!   ([`product`]) — the product mixes Büchi obligations ("visit F
+//!   infinitely often") and co-Büchi obligations ("eventually avoid G"),
+//!   searched via SCC analysis of the co-Büchi-clean subgraph;
+//! * the scheme algebra and a library of classic schemes as automata
+//!   ([`schemes`]);
+//! * pair-alphabet automata over `Γ × Γ` encoding the special-pair
+//!   relation, so condition III.8.ii becomes a product emptiness query
+//!   ([`pairs`]).
+//!
+//! Determinism keeps complementation trivial (flip Büchi ↔ co-Büchi) and
+//! every query exact. Conjunction-of-obligations is closed under all the
+//! constructions the scheme library needs, and complements distribute into
+//! disjunctions handled query-side.
+//!
+//! ```
+//! use minobs_omega::schemes::{regular_s1, decide_regular};
+//!
+//! let s1 = regular_s1();
+//! let verdict = decide_regular(&s1);
+//! assert!(verdict.is_solvable());
+//! ```
+
+pub mod algebra;
+pub mod auto;
+pub mod pairs;
+pub mod product;
+pub mod schemes;
+
+pub use algebra::{intersect_buchi, intersect_cobuchi, union_buchi, union_cobuchi};
+pub use auto::{Acceptance, DetAutomaton, Obligation};
+pub use product::{find_accepted_lasso, LassoWitness};
+pub use schemes::{decide_regular, RegularScheme};

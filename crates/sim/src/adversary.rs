@@ -1,0 +1,360 @@
+//! Omission adversaries — the executable side of omission schemes.
+//!
+//! An adversary realizes one scenario of a scheme, one round at a time: it
+//! sees the pending directed edges and returns the subset to kill. The
+//! engine applies the omissions blindly; whether the resulting infinite
+//! behaviour stays inside a given scheme is the adversary's contract
+//! (checked by the `O_f` budget wrapper and the tests).
+
+use minobs_core::letter::{GammaLetter, Letter, Role};
+use minobs_core::scenario::Scenario;
+use minobs_graphs::{CutPartition, DirectedEdge};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Selects, per round, the directed edges whose messages are lost.
+pub trait Adversary {
+    /// The omission set for `round`, given the messages actually in
+    /// flight. Must be a subset of `pending` to have any effect; returning
+    /// edges not in flight is allowed and harmless (the paper's letters
+    /// also name losses of messages that were never sent).
+    fn select_drops(&mut self, round: usize, pending: &[DirectedEdge]) -> Vec<DirectedEdge>;
+}
+
+/// The fault-free adversary: `S0` at network scale.
+#[derive(Debug, Clone, Default)]
+pub struct NoFault;
+
+impl Adversary for NoFault {
+    fn select_drops(&mut self, _round: usize, _pending: &[DirectedEdge]) -> Vec<DirectedEdge> {
+        Vec::new()
+    }
+}
+
+/// Drops up to `f` uniformly random in-flight messages per round — a
+/// random scenario of the `O_f` scheme of Section V-A.
+pub struct RandomOmissions<R: Rng> {
+    /// The per-round budget `f`.
+    pub f: usize,
+    /// Randomness source.
+    pub rng: R,
+}
+
+impl<R: Rng> RandomOmissions<R> {
+    /// Builds the adversary.
+    pub fn new(f: usize, rng: R) -> Self {
+        RandomOmissions { f, rng }
+    }
+}
+
+impl<R: Rng> Adversary for RandomOmissions<R> {
+    fn select_drops(&mut self, _round: usize, pending: &[DirectedEdge]) -> Vec<DirectedEdge> {
+        let mut edges: Vec<DirectedEdge> = pending.to_vec();
+        edges.shuffle(&mut self.rng);
+        edges.truncate(self.f);
+        edges
+    }
+}
+
+/// Replays an explicit per-round script of omission sets.
+#[derive(Debug, Clone)]
+pub struct ScriptedAdversary {
+    script: Vec<Vec<DirectedEdge>>,
+    repeat: bool,
+}
+
+impl ScriptedAdversary {
+    /// Plays the script once; later rounds are fault-free.
+    pub fn once(script: Vec<Vec<DirectedEdge>>) -> Self {
+        ScriptedAdversary {
+            script,
+            repeat: false,
+        }
+    }
+
+    /// Replays the script cyclically forever.
+    ///
+    /// # Panics
+    /// Panics on an empty script.
+    pub fn repeating(script: Vec<Vec<DirectedEdge>>) -> Self {
+        assert!(!script.is_empty(), "repeating script must be nonempty");
+        ScriptedAdversary {
+            script,
+            repeat: true,
+        }
+    }
+}
+
+impl Adversary for ScriptedAdversary {
+    fn select_drops(&mut self, round: usize, _pending: &[DirectedEdge]) -> Vec<DirectedEdge> {
+        if self.script.is_empty() {
+            return Vec::new();
+        }
+        if self.repeat {
+            self.script[round % self.script.len()].clone()
+        } else {
+            self.script.get(round).cloned().unwrap_or_default()
+        }
+    }
+}
+
+/// The `Γ_C` cut adversary of Theorem V.1's proof, scripted by a
+/// two-process scenario through the bijection `ρ`.
+///
+/// Per round, the scenario's letter maps to a letter of `Γ_C`:
+///
+/// * `Full` → no message is lost (`C_⇄`);
+/// * `DropWhite` → all cut messages from the `A` side (White's avatar) to
+///   the `B` side are lost (`C_→` with the `A→B` arcs removed);
+/// * `DropBlack` → all cut messages `B → A` are lost;
+/// * `DropBoth` → both directions of the cut are lost (outside `Γ_C`;
+///   available for probing).
+#[derive(Debug, Clone)]
+pub struct CutAdversary {
+    a_to_b: Vec<DirectedEdge>,
+    b_to_a: Vec<DirectedEdge>,
+    scenario: Scenario,
+}
+
+impl CutAdversary {
+    /// Builds the adversary from a cut partition and a driving scenario.
+    pub fn new(partition: &CutPartition, scenario: Scenario) -> Self {
+        let a_to_b = partition
+            .cut
+            .iter()
+            .map(|&(a, b)| DirectedEdge::new(a, b))
+            .collect();
+        let b_to_a = partition
+            .cut
+            .iter()
+            .map(|&(a, b)| DirectedEdge::new(b, a))
+            .collect();
+        CutAdversary {
+            a_to_b,
+            b_to_a,
+            scenario,
+        }
+    }
+
+    /// The omission set for a given `Γ_C`-letter.
+    pub fn drops_for_letter(&self, letter: Letter) -> Vec<DirectedEdge> {
+        match letter {
+            Letter::Full => Vec::new(),
+            Letter::DropWhite => self.a_to_b.clone(),
+            Letter::DropBlack => self.b_to_a.clone(),
+            Letter::DropBoth => {
+                let mut v = self.a_to_b.clone();
+                v.extend(self.b_to_a.iter().copied());
+                v
+            }
+        }
+    }
+
+    /// The per-round omission budget this adversary needs: `f = |C|`.
+    pub fn f(&self) -> usize {
+        self.a_to_b.len()
+    }
+}
+
+impl Adversary for CutAdversary {
+    fn select_drops(&mut self, round: usize, _pending: &[DirectedEdge]) -> Vec<DirectedEdge> {
+        self.drops_for_letter(self.scenario.letter_at(round))
+    }
+}
+
+/// An adaptive cut adversary: each round kills the whole cut in the
+/// direction that currently carries *more* in-flight messages (ties go
+/// `A→B`). Stays within `Γ_C`, hence within `O_f` for `f = c(G)`.
+#[derive(Debug, Clone)]
+pub struct GreedyCutAdversary {
+    a_to_b: Vec<DirectedEdge>,
+    b_to_a: Vec<DirectedEdge>,
+}
+
+impl GreedyCutAdversary {
+    /// Builds the adversary from a cut partition.
+    pub fn new(partition: &CutPartition) -> Self {
+        GreedyCutAdversary {
+            a_to_b: partition
+                .cut
+                .iter()
+                .map(|&(a, b)| DirectedEdge::new(a, b))
+                .collect(),
+            b_to_a: partition
+                .cut
+                .iter()
+                .map(|&(a, b)| DirectedEdge::new(b, a))
+                .collect(),
+        }
+    }
+}
+
+impl Adversary for GreedyCutAdversary {
+    fn select_drops(&mut self, _round: usize, pending: &[DirectedEdge]) -> Vec<DirectedEdge> {
+        let count = |dir: &[DirectedEdge]| pending.iter().filter(|e| dir.contains(e)).count();
+        if count(&self.a_to_b) >= count(&self.b_to_a) {
+            self.a_to_b.clone()
+        } else {
+            self.b_to_a.clone()
+        }
+    }
+}
+
+/// Wraps an adversary with the `O_f` budget: asserts at most `f` drops per
+/// round (panics on violation — failure injection for scheme contracts).
+pub struct BudgetChecked<A: Adversary> {
+    inner: A,
+    f: usize,
+}
+
+impl<A: Adversary> BudgetChecked<A> {
+    /// Wraps `inner` with budget `f`.
+    pub fn new(inner: A, f: usize) -> Self {
+        BudgetChecked { inner, f }
+    }
+}
+
+impl<A: Adversary> Adversary for BudgetChecked<A> {
+    fn select_drops(&mut self, round: usize, pending: &[DirectedEdge]) -> Vec<DirectedEdge> {
+        let drops = self.inner.select_drops(round, pending);
+        let effective = drops.iter().filter(|e| pending.contains(e)).count();
+        assert!(
+            effective <= self.f,
+            "adversary exceeded O_{} budget at round {round}: {effective} drops",
+            self.f
+        );
+        drops
+    }
+}
+
+/// A crash adversary: from `crash_round` on, every message sent *by*
+/// `victim` is lost — the network-scale `C1` of Example II.10.
+#[derive(Debug, Clone)]
+pub struct CrashAdversary {
+    /// The crashing node.
+    pub victim: usize,
+    /// First silent round.
+    pub crash_round: usize,
+}
+
+impl Adversary for CrashAdversary {
+    fn select_drops(&mut self, round: usize, pending: &[DirectedEdge]) -> Vec<DirectedEdge> {
+        if round < self.crash_round {
+            return Vec::new();
+        }
+        pending
+            .iter()
+            .copied()
+            .filter(|e| e.from == self.victim)
+            .collect()
+    }
+}
+
+/// Maps a two-process role to its cut-partition avatar, for tests and the
+/// reduction machinery: White emulates side `A`, Black side `B`.
+pub fn role_direction(role: Role) -> GammaLetter {
+    GammaLetter::dropping(role)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minobs_graphs::{cut_partition, generators};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn edges(list: &[(usize, usize)]) -> Vec<DirectedEdge> {
+        list.iter().map(|&(a, b)| DirectedEdge::new(a, b)).collect()
+    }
+
+    #[test]
+    fn no_fault_drops_nothing() {
+        let mut adv = NoFault;
+        assert!(adv.select_drops(0, &edges(&[(0, 1), (1, 0)])).is_empty());
+    }
+
+    #[test]
+    fn random_respects_budget() {
+        let mut adv = RandomOmissions::new(2, StdRng::seed_from_u64(7));
+        let pending = edges(&[(0, 1), (1, 0), (1, 2), (2, 1)]);
+        for round in 0..50 {
+            let drops = adv.select_drops(round, &pending);
+            assert!(drops.len() <= 2);
+            assert!(drops.iter().all(|e| pending.contains(e)));
+        }
+    }
+
+    #[test]
+    fn scripted_once_then_silent() {
+        let mut adv = ScriptedAdversary::once(vec![edges(&[(0, 1)]), edges(&[(1, 0)])]);
+        assert_eq!(adv.select_drops(0, &[]), edges(&[(0, 1)]));
+        assert_eq!(adv.select_drops(1, &[]), edges(&[(1, 0)]));
+        assert!(adv.select_drops(2, &[]).is_empty());
+    }
+
+    #[test]
+    fn scripted_repeating_cycles() {
+        let mut adv = ScriptedAdversary::repeating(vec![edges(&[(0, 1)]), Vec::new()]);
+        assert_eq!(adv.select_drops(0, &[]), edges(&[(0, 1)]));
+        assert!(adv.select_drops(1, &[]).is_empty());
+        assert_eq!(adv.select_drops(2, &[]), edges(&[(0, 1)]));
+    }
+
+    #[test]
+    fn cut_adversary_follows_scenario() {
+        let g = generators::barbell(3, 2);
+        let p = cut_partition(&g).unwrap();
+        let mut adv = CutAdversary::new(&p, "w b (-)".replace(' ', "").parse().unwrap());
+        let d0 = adv.select_drops(0, &[]);
+        assert_eq!(d0.len(), 2, "DropWhite kills all A→B cut arcs");
+        assert!(d0.iter().all(|e| p.side_a.contains(&e.from) && p.side_b.contains(&e.to)));
+        let d1 = adv.select_drops(1, &[]);
+        assert!(d1.iter().all(|e| p.side_b.contains(&e.from)));
+        assert!(adv.select_drops(2, &[]).is_empty());
+        assert_eq!(adv.f(), 2);
+    }
+
+    #[test]
+    fn greedy_cut_picks_busier_direction() {
+        let g = generators::barbell(3, 1);
+        let p = cut_partition(&g).unwrap();
+        let (a1, b1) = p.representatives();
+        let mut adv = GreedyCutAdversary::new(&p);
+        // Only B→A in flight: kill that direction.
+        let pending = vec![DirectedEdge::new(b1, a1)];
+        let drops = adv.select_drops(0, &pending);
+        assert_eq!(drops, vec![DirectedEdge::new(b1, a1)]);
+    }
+
+    #[test]
+    fn budget_checker_allows_within_budget() {
+        let g = generators::barbell(3, 2);
+        let p = cut_partition(&g).unwrap();
+        let adv = CutAdversary::new(&p, "(w)".parse().unwrap());
+        let mut checked = BudgetChecked::new(adv, 2);
+        let pending = edges(&[(0, 3)]);
+        let _ = checked.select_drops(0, &pending);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded O_1 budget")]
+    fn budget_checker_panics_on_violation() {
+        let script = ScriptedAdversary::repeating(vec![edges(&[(0, 1), (1, 0)])]);
+        let mut checked = BudgetChecked::new(script, 1);
+        let pending = edges(&[(0, 1), (1, 0)]);
+        let _ = checked.select_drops(0, &pending);
+    }
+
+    #[test]
+    fn crash_adversary_silences_victim() {
+        let mut adv = CrashAdversary {
+            victim: 1,
+            crash_round: 2,
+        };
+        let pending = edges(&[(0, 1), (1, 0), (1, 2)]);
+        assert!(adv.select_drops(0, &pending).is_empty());
+        assert!(adv.select_drops(1, &pending).is_empty());
+        let drops = adv.select_drops(2, &pending);
+        assert_eq!(drops, edges(&[(1, 0), (1, 2)]));
+    }
+}

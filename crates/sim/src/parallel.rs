@@ -1,0 +1,274 @@
+//! A data-parallel variant of the network engine.
+//!
+//! The synchronous round structure is embarrassingly parallel within a
+//! round: every node's `send` depends only on its own state, and every
+//! node's `advance` consumes a disjoint inbox. This engine fans both
+//! phases out over `crossbeam` scoped threads working on disjoint node
+//! chunks — no locks on the hot path; a `parking_lot::Mutex` only guards
+//! the shared statistics accumulator.
+//!
+//! The results are **bit-identical** to [`crate::network::SyncNetwork`]:
+//! pending messages are ordered by (sender, receiver) before the adversary
+//! sees them, so adversaries observe the same view in both engines
+//! (asserted by the equivalence tests, and benchmarked as the
+//! engine ablation in `minobs-bench`).
+
+use crate::adversary::Adversary;
+use crate::network::{audit_network, NetOutcome, NodeProtocol};
+use crate::trace::RunStats;
+use minobs_graphs::{DirectedEdge, Graph};
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+
+/// Runs the network with node phases parallelized over `threads` workers.
+///
+/// Requires `P: Send + Sync` and `P::Msg: Send` — phase 1 reads node
+/// state from several workers, phase 3 hands each worker exclusive access
+/// to a disjoint chunk.
+///
+/// # Panics
+/// Panics when `threads == 0` or the node count mismatches the graph.
+pub fn run_network_parallel<P>(
+    graph: &Graph,
+    mut nodes: Vec<P>,
+    adversary: &mut dyn Adversary,
+    max_rounds: usize,
+    threads: usize,
+) -> NetOutcome
+where
+    P: NodeProtocol + Send + Sync,
+    P::Msg: Send,
+{
+    assert!(threads > 0, "need at least one worker");
+    assert_eq!(
+        nodes.len(),
+        graph.vertex_count(),
+        "one protocol instance per vertex"
+    );
+    let n = nodes.len();
+    let chunk = n.div_ceil(threads);
+    let stats = Mutex::new(RunStats::default());
+    let mut round = 0usize;
+
+    while round < max_rounds && !nodes.iter().all(|p| p.halted()) {
+        // ---- Phase 1 (parallel): collect sends per chunk. ----
+        let mut per_chunk: Vec<Vec<(DirectedEdge, P::Msg)>> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (ci, chunk_nodes) in nodes.chunks(chunk).enumerate() {
+                let stats = &stats;
+                handles.push(scope.spawn(move |_| {
+                    let base = ci * chunk;
+                    let mut out: Vec<(DirectedEdge, P::Msg)> = Vec::new();
+                    let mut sent = 0usize;
+                    let mut misaddressed = 0usize;
+                    for (off, node) in chunk_nodes.iter().enumerate() {
+                        if node.halted() {
+                            continue;
+                        }
+                        let id = base + off;
+                        for (to, msg) in node.send(round) {
+                            if graph.has_edge(id, to) {
+                                out.push((DirectedEdge::new(id, to), msg));
+                                sent += 1;
+                            } else {
+                                misaddressed += 1;
+                            }
+                        }
+                    }
+                    let mut s = stats.lock();
+                    s.messages_sent += sent;
+                    s.misaddressed += misaddressed;
+                    out
+                }));
+            }
+            per_chunk = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        })
+        .expect("worker panicked");
+        let mut pending: Vec<(DirectedEdge, P::Msg)> =
+            per_chunk.into_iter().flatten().collect();
+        // Deterministic adversary view, identical to the sequential engine
+        // (which collects in node order).
+        pending.sort_by_key(|(e, _)| (e.from, e.to));
+
+        // ---- Phase 2 (sequential): adversary + routing. ----
+        let pending_edges: Vec<DirectedEdge> = pending.iter().map(|(e, _)| *e).collect();
+        let drops: BTreeSet<DirectedEdge> = adversary
+            .select_drops(round, &pending_edges)
+            .into_iter()
+            .collect();
+        let mut inboxes: Vec<Vec<(usize, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+        {
+            let mut s = stats.lock();
+            for (edge, msg) in pending {
+                if drops.contains(&edge) {
+                    s.messages_dropped += 1;
+                } else {
+                    inboxes[edge.to].push((edge.from, msg));
+                    s.messages_delivered += 1;
+                }
+            }
+            s.max_drops_per_round = s.max_drops_per_round.max(drops.len());
+        }
+
+        // ---- Phase 3 (parallel): advance per chunk over disjoint slices. ----
+        crossbeam::thread::scope(|scope| {
+            let mut inbox_chunks = inboxes.chunks_mut(chunk);
+            for node_chunk in nodes.chunks_mut(chunk) {
+                let inbox_chunk = inbox_chunks.next().expect("chunk counts align");
+                scope.spawn(move |_| {
+                    for (node, inbox) in node_chunk.iter_mut().zip(inbox_chunk) {
+                        if !node.halted() {
+                            node.advance(round, std::mem::take(inbox));
+                        }
+                    }
+                });
+            }
+        })
+        .expect("worker panicked");
+
+        round += 1;
+    }
+
+    let mut final_stats = stats.into_inner();
+    final_stats.rounds = round;
+    let inputs: Vec<u64> = nodes.iter().map(|p| p.input()).collect();
+    let decisions: Vec<Option<u64>> = nodes.iter().map(|p| p.decision()).collect();
+    let verdict = audit_network(&inputs, &decisions);
+    NetOutcome {
+        decisions,
+        verdict,
+        stats: final_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{NoFault, RandomOmissions, ScriptedAdversary};
+    use crate::network::run_network;
+    use minobs_graphs::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A deterministic flooding protocol for equivalence checks.
+    #[derive(Debug, Clone)]
+    struct Flood {
+        input: u64,
+        best: u64,
+        neighbors: Vec<usize>,
+        deadline: usize,
+        decision: Option<u64>,
+    }
+
+    impl NodeProtocol for Flood {
+        type Msg = u64;
+        fn input(&self) -> u64 {
+            self.input
+        }
+        fn send(&self, _r: usize) -> Vec<(usize, u64)> {
+            self.neighbors.iter().map(|&n| (n, self.best)).collect()
+        }
+        fn advance(&mut self, round: usize, received: Vec<(usize, u64)>) {
+            for (_, v) in received {
+                self.best = self.best.max(v);
+            }
+            if round + 1 >= self.deadline {
+                self.decision = Some(self.best);
+            }
+        }
+        fn decision(&self) -> Option<u64> {
+            self.decision
+        }
+    }
+
+    fn fleet(g: &Graph, deadline: usize) -> Vec<Flood> {
+        (0..g.vertex_count())
+            .map(|id| Flood {
+                input: (id as u64 * 7) % 23,
+                best: (id as u64 * 7) % 23,
+                neighbors: g.neighbors(id).to_vec(),
+                deadline,
+                decision: None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_sequential_engine_no_fault() {
+        for g in [generators::cycle(17), generators::complete(9), generators::grid(4, 5)] {
+            let n = g.vertex_count();
+            let seq = run_network(&g, fleet(&g, n - 1), &mut NoFault, 2 * n);
+            for threads in [1, 2, 4, 7] {
+                let par =
+                    run_network_parallel(&g, fleet(&g, n - 1), &mut NoFault, 2 * n, threads);
+                assert_eq!(par.decisions, seq.decisions, "{g} threads={threads}");
+                assert_eq!(par.verdict, seq.verdict);
+                assert_eq!(par.stats, seq.stats);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sequential_engine_under_scripted_adversary() {
+        let g = generators::torus(3, 4);
+        let n = g.vertex_count();
+        let script: Vec<Vec<DirectedEdge>> = vec![
+            vec![DirectedEdge::new(0, 1), DirectedEdge::new(4, 5)],
+            vec![DirectedEdge::new(1, 0)],
+            vec![],
+        ];
+        let seq = run_network(
+            &g,
+            fleet(&g, n - 1),
+            &mut ScriptedAdversary::repeating(script.clone()),
+            2 * n,
+        );
+        let par = run_network_parallel(
+            &g,
+            fleet(&g, n - 1),
+            &mut ScriptedAdversary::repeating(script),
+            2 * n,
+            3,
+        );
+        assert_eq!(par.decisions, seq.decisions);
+        assert_eq!(par.stats, seq.stats);
+    }
+
+    #[test]
+    fn matches_sequential_engine_under_seeded_random_adversary() {
+        // The adversary sees identically-ordered pending lists, so a seeded
+        // RNG produces the same drops in both engines.
+        let g = generators::hypercube(4);
+        let n = g.vertex_count();
+        let seq = run_network(
+            &g,
+            fleet(&g, n - 1),
+            &mut RandomOmissions::new(3, StdRng::seed_from_u64(11)),
+            2 * n,
+        );
+        let par = run_network_parallel(
+            &g,
+            fleet(&g, n - 1),
+            &mut RandomOmissions::new(3, StdRng::seed_from_u64(11)),
+            2 * n,
+            4,
+        );
+        assert_eq!(par.decisions, seq.decisions);
+        assert_eq!(par.stats, seq.stats);
+    }
+
+    #[test]
+    fn more_threads_than_nodes_is_fine() {
+        let g = generators::cycle(3);
+        let out = run_network_parallel(&g, fleet(&g, 2), &mut NoFault, 8, 16);
+        assert!(out.verdict.is_consensus());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let g = generators::cycle(3);
+        let _ = run_network_parallel(&g, fleet(&g, 2), &mut NoFault, 8, 0);
+    }
+}

@@ -1,0 +1,22 @@
+//! # minobs-suite — the batteries-included facade
+//!
+//! Re-exports every `minobs` crate under one roof, hosts the workspace's
+//! integration tests (`tests/` at the repository root) and the runnable
+//! examples (`examples/` at the repository root).
+//!
+//! Downstream users who want a single dependency can use this crate:
+//!
+//! ```
+//! use minobs_suite::core::prelude::*;
+//!
+//! let verdict = decide_classic(&classic::r1());
+//! assert!(!verdict.is_solvable()); // Γ^ω is an obstruction
+//! ```
+
+pub use minobs_bigint as bigint;
+pub use minobs_core as core;
+pub use minobs_graphs as graphs;
+pub use minobs_net as net;
+pub use minobs_omega as omega;
+pub use minobs_sim as sim;
+pub use minobs_synth as synth;

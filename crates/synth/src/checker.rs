@@ -1,0 +1,582 @@
+//! The bounded solvability model checker.
+//!
+//! `solvable_by(scheme, k, alphabet)` answers: *does any algorithm exist
+//! in which both processes decide at round `k`, correctly, for every
+//! scenario of the scheme?* — by the full-information reduction (see the
+//! crate docs) this is a finite union-find computation over views.
+//!
+//! The enumeration is level-synchronous over `Pref_k(L)`: the frontier
+//! holds one entry per (allowed prefix × input pair) carrying the two
+//! current view ids; each round extends prefixes by every allowed letter.
+//! Prefix pruning uses [`OmissionScheme::allows_prefix`], so the checker
+//! works for any scheme — classic, ω-regular, or hand-rolled.
+
+use crate::views::{ViewArena, ViewId};
+use minobs_core::letter::{Letter, Role};
+use minobs_core::scheme::OmissionScheme;
+use minobs_core::word::Word;
+
+/// One execution in a bivalency chain: the scenario prefix and the inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainStep {
+    /// The `k`-round scenario prefix.
+    pub prefix: Word,
+    /// White's input.
+    pub white_input: bool,
+    /// Black's input.
+    pub black_input: bool,
+}
+
+/// The checker's verdict at horizon `k`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckResult {
+    /// A decision map exists: some algorithm decides at round `k` on all
+    /// of `Pref_k(L)`.
+    Solvable {
+        /// Number of distinct final views.
+        views: usize,
+        /// Number of execution-connected components.
+        components: usize,
+    },
+    /// No such algorithm: the all-0 and all-1 executions are connected.
+    Unsolvable {
+        /// A chain of executions linking a 0-pinned view to a 1-pinned
+        /// view; consecutive steps share a process view (the bivalency
+        /// chain).
+        chain: Vec<ChainStep>,
+    },
+    /// The scheme allows no prefix of length `k` at all (empty scheme).
+    Empty,
+}
+
+impl CheckResult {
+    /// `true` for [`CheckResult::Solvable`] (and for the vacuous
+    /// [`CheckResult::Empty`]).
+    pub fn is_solvable(&self) -> bool {
+        matches!(self, CheckResult::Solvable { .. } | CheckResult::Empty)
+    }
+}
+
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra as usize] = rb;
+        }
+    }
+}
+
+/// Tree-encoded prefix store: `prefixes[i] = (parent index, letter)`.
+type PrefixStore = Vec<(u32, Option<Letter>)>;
+
+/// One frontier entry: an allowed prefix (index into `prefixes`) with an
+/// input pair and the two current views.
+#[derive(Debug, Clone, Copy)]
+struct ExecState {
+    prefix_idx: u32,
+    white_input: bool,
+    black_input: bool,
+    view_w: ViewId,
+    view_b: ViewId,
+}
+
+/// Decides `k`-round solvability of `scheme` over the given per-round
+/// alphabet (use `GammaLetter`-only letters for `L ⊆ Γ^ω`, all of `Σ` for
+/// schemes with double omission).
+pub fn solvable_by(scheme: &dyn OmissionScheme, k: usize, alphabet: &[Letter]) -> CheckResult {
+    solvable_by_impl(&|u| scheme.allows_prefix(u), None, k, alphabet)
+}
+
+/// The rayon-parallel variant of [`solvable_by`]: prefix-viability tests —
+/// the expensive part for automata-backed schemes, where each test is an
+/// ω-automata emptiness query — are fanned out with `rayon`; view
+/// interning and the union-find stay sequential. Results are identical to
+/// the sequential checker (tested), letter for letter.
+pub fn solvable_by_par<S>(scheme: &S, k: usize, alphabet: &[Letter]) -> CheckResult
+where
+    S: OmissionScheme + Sync + ?Sized,
+{
+    solvable_by_impl(
+        &|u| scheme.allows_prefix(u),
+        Some(&|words: &[Word]| {
+            use rayon::prelude::*;
+            words.par_iter().map(|u| scheme.allows_prefix(u)).collect()
+        }),
+        k,
+        alphabet,
+    )
+}
+
+type BatchViability<'a> = &'a dyn Fn(&[Word]) -> Vec<bool>;
+
+fn solvable_by_impl(
+    allows: &dyn Fn(&Word) -> bool,
+    batch: Option<BatchViability<'_>>,
+    k: usize,
+    alphabet: &[Letter],
+) -> CheckResult {
+    let mut arena = ViewArena::new();
+    // Prefix store: tree-encoded, prefixes[i] = (parent index, letter).
+    let mut prefixes: PrefixStore = vec![(0, None)];
+    if !allows(&Word::empty()) {
+        return CheckResult::Empty;
+    }
+
+    // Round 0 frontier: the empty prefix with all four input pairs.
+    let mut frontier: Vec<ExecState> = Vec::new();
+    for wi in [false, true] {
+        for bi in [false, true] {
+            frontier.push(ExecState {
+                prefix_idx: 0,
+                white_input: wi,
+                black_input: bi,
+                view_w: arena.base(Role::White, wi),
+                view_b: arena.base(Role::Black, bi),
+            });
+        }
+    }
+
+    let reconstruct = |prefixes: &PrefixStore, mut idx: u32| -> Word {
+        let mut letters = Vec::new();
+        while let (parent, Some(letter)) = prefixes[idx as usize] {
+            letters.push(letter);
+            idx = parent;
+        }
+        letters.reverse();
+        Word(letters)
+    };
+
+    for _round in 0..k {
+        let mut next: Vec<ExecState> = Vec::with_capacity(frontier.len() * alphabet.len());
+        // Group by prefix: all four input pairs extend the same way, so
+        // test allows_prefix once per (prefix, letter). Entries with the
+        // same prefix are contiguous by construction.
+        let mut groups: Vec<(usize, usize, u32)> = Vec::new();
+        let mut i = 0usize;
+        while i < frontier.len() {
+            let prefix_idx = frontier[i].prefix_idx;
+            let mut j = i;
+            while j < frontier.len() && frontier[j].prefix_idx == prefix_idx {
+                j += 1;
+            }
+            groups.push((i, j, prefix_idx));
+            i = j;
+        }
+
+        // Viability of every (group, letter) extension — the expensive
+        // queries, batched so the parallel variant can fan them out.
+        let candidate_words: Vec<Word> = groups
+            .iter()
+            .flat_map(|&(_, _, pidx)| {
+                let word = reconstruct(&prefixes, pidx);
+                alphabet.iter().map(move |&l| word.push(l))
+            })
+            .collect();
+        let viable: Vec<bool> = match batch {
+            Some(run_batch) => run_batch(&candidate_words),
+            None => candidate_words.iter().map(allows).collect(),
+        };
+
+        for (g, &(i, j, prefix_idx)) in groups.iter().enumerate() {
+            for (li, &letter) in alphabet.iter().enumerate() {
+                if !viable[g * alphabet.len() + li] {
+                    continue;
+                }
+                prefixes.push((prefix_idx, Some(letter)));
+                let new_idx = (prefixes.len() - 1) as u32;
+                for entry in &frontier[i..j] {
+                    let to_white = letter
+                        .delivers_from(Role::Black)
+                        .then_some(entry.view_b);
+                    let to_black = letter
+                        .delivers_from(Role::White)
+                        .then_some(entry.view_w);
+                    next.push(ExecState {
+                        prefix_idx: new_idx,
+                        white_input: entry.white_input,
+                        black_input: entry.black_input,
+                        view_w: arena.extend(entry.view_w, to_white),
+                        view_b: arena.extend(entry.view_b, to_black),
+                    });
+                }
+            }
+        }
+        // Keep same-prefix entries contiguous: sort by prefix index.
+        next.sort_by_key(|e| e.prefix_idx);
+        frontier = next;
+        if frontier.is_empty() {
+            return CheckResult::Empty;
+        }
+    }
+
+    // Union final views per execution; pin uniform-input executions.
+    let n_views = arena.len();
+    let mut uf = UnionFind::new(n_views);
+    for e in &frontier {
+        uf.union(e.view_w.0, e.view_b.0);
+    }
+    // Pins: root → required value (via a representative execution).
+    let mut pin0: Vec<Option<usize>> = vec![None; n_views]; // exec index
+    let mut pin1: Vec<Option<usize>> = vec![None; n_views];
+    for (idx, e) in frontier.iter().enumerate() {
+        if e.white_input == e.black_input {
+            let root = uf.find(e.view_w.0) as usize;
+            let slot = if e.white_input { &mut pin1 } else { &mut pin0 };
+            if slot[root].is_none() {
+                slot[root] = Some(idx);
+            }
+        }
+    }
+    let conflict_root = (0..n_views).find(|&r| {
+        // Only roots carry pins.
+        pin0[r].is_some() && pin1[r].is_some()
+    });
+
+    match conflict_root {
+        None => {
+            // Count components among final views only.
+            let mut roots: Vec<u32> = frontier
+                .iter()
+                .flat_map(|e| [e.view_w.0, e.view_b.0])
+                .collect();
+            for r in roots.iter_mut() {
+                *r = uf.find(*r);
+            }
+            roots.sort_unstable();
+            roots.dedup();
+            let finals: std::collections::BTreeSet<u32> = frontier
+                .iter()
+                .flat_map(|e| [e.view_w.0, e.view_b.0])
+                .collect();
+            CheckResult::Solvable {
+                views: finals.len(),
+                components: roots.len(),
+            }
+        }
+        Some(root) => {
+            let chain = extract_chain(
+                &frontier,
+                &prefixes,
+                pin0[root].unwrap(),
+                pin1[root].unwrap(),
+                &reconstruct,
+            );
+            CheckResult::Unsolvable { chain }
+        }
+    }
+}
+
+/// BFS over executions: two executions are adjacent when they share a
+/// final view (some process cannot distinguish them). Returns the chain
+/// from the 0-pinned execution to the 1-pinned one.
+fn extract_chain(
+    frontier: &[ExecState],
+    prefixes: &PrefixStore,
+    start: usize,
+    goal: usize,
+    reconstruct: &dyn Fn(&PrefixStore, u32) -> Word,
+) -> Vec<ChainStep> {
+    use std::collections::{HashMap, VecDeque};
+    // view id → executions carrying it.
+    let mut by_view: HashMap<u32, Vec<usize>> = HashMap::new();
+    for (idx, e) in frontier.iter().enumerate() {
+        by_view.entry(e.view_w.0).or_default().push(idx);
+        by_view.entry(e.view_b.0).or_default().push(idx);
+    }
+    let mut prev: HashMap<usize, usize> = HashMap::new();
+    let mut seen = vec![false; frontier.len()];
+    seen[start] = true;
+    let mut queue = VecDeque::from([start]);
+    'bfs: while let Some(cur) = queue.pop_front() {
+        if cur == goal {
+            break 'bfs;
+        }
+        let e = &frontier[cur];
+        for v in [e.view_w.0, e.view_b.0] {
+            for &other in by_view.get(&v).into_iter().flatten() {
+                if !seen[other] {
+                    seen[other] = true;
+                    prev.insert(other, cur);
+                    queue.push_back(other);
+                }
+            }
+        }
+    }
+    // Rebuild path.
+    let mut path = vec![goal];
+    let mut cur = goal;
+    while cur != start {
+        cur = prev[&cur];
+        path.push(cur);
+    }
+    path.reverse();
+    path.into_iter()
+        .map(|idx| {
+            let e = &frontier[idx];
+            ChainStep {
+                prefix: reconstruct(prefixes, e.prefix_idx),
+                white_input: e.white_input,
+                black_input: e.black_input,
+            }
+        })
+        .collect()
+}
+
+/// The `Γ` alphabet for the checker.
+pub fn gamma_alphabet() -> Vec<Letter> {
+    vec![Letter::Full, Letter::DropWhite, Letter::DropBlack]
+}
+
+/// The full `Σ` alphabet for the checker.
+pub fn sigma_alphabet() -> Vec<Letter> {
+    Letter::ALL.to_vec()
+}
+
+/// The smallest horizon `k ≤ max_k` at which the scheme is solvable, or
+/// `None`. By Corollary III.14 / Proposition III.15 this equals the
+/// paper's worst-case round complexity `p` whenever it exists.
+pub fn first_solvable_horizon(
+    scheme: &dyn OmissionScheme,
+    max_k: usize,
+    alphabet: &[Letter],
+) -> Option<usize> {
+    (0..=max_k).find(|&k| solvable_by(scheme, k, alphabet).is_solvable())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minobs_core::minimal::CanonicalMinimalObstruction;
+    use minobs_core::scheme::{classic, ClassicScheme};
+    use minobs_core::theorem::min_excluded_prefix;
+
+    fn gamma() -> Vec<Letter> {
+        gamma_alphabet()
+    }
+
+    #[test]
+    fn nothing_is_solvable_at_horizon_zero() {
+        // Without communication mixed inputs force a conflict.
+        let r = solvable_by(&classic::s0(), 0, &gamma());
+        assert!(!r.is_solvable());
+    }
+
+    #[test]
+    fn s0_and_t_solvable_at_one_round() {
+        for scheme in [classic::s0(), classic::t_white(), classic::t_black()] {
+            assert!(
+                solvable_by(&scheme, 1, &gamma()).is_solvable(),
+                "{}",
+                scheme.name()
+            );
+        }
+    }
+
+    #[test]
+    fn c1_and_s1_need_exactly_two_rounds() {
+        for scheme in [classic::c1(), classic::s1()] {
+            assert!(!solvable_by(&scheme, 1, &gamma()).is_solvable(), "{}", scheme.name());
+            assert!(solvable_by(&scheme, 2, &gamma()).is_solvable(), "{}", scheme.name());
+            assert_eq!(
+                first_solvable_horizon(&scheme, 4, &gamma()),
+                Some(2),
+                "{}",
+                scheme.name()
+            );
+        }
+    }
+
+    #[test]
+    fn r1_unsolvable_at_every_tested_horizon() {
+        for k in 0..=6 {
+            let r = solvable_by(&classic::r1(), k, &gamma());
+            assert!(!r.is_solvable(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn s2_unsolvable_with_sigma_alphabet() {
+        for k in 0..=4 {
+            let r = solvable_by(&classic::s2(), k, &sigma_alphabet());
+            assert!(!r.is_solvable(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn bivalency_chain_is_a_valid_certificate() {
+        let CheckResult::Unsolvable { chain } = solvable_by(&classic::r1(), 3, &gamma()) else {
+            panic!("R1 must be unsolvable");
+        };
+        assert!(chain.len() >= 2);
+        // Endpoints are the uniform executions with opposite values.
+        let first = chain.first().unwrap();
+        let last = chain.last().unwrap();
+        assert_eq!(first.white_input, first.black_input);
+        assert_eq!(last.white_input, last.black_input);
+        assert_ne!(first.white_input, last.white_input);
+        // Every step's prefix is allowed by the scheme.
+        for step in &chain {
+            assert!(classic::r1().allows_prefix(&step.prefix), "{:?}", step);
+            assert_eq!(step.prefix.len(), 3);
+        }
+    }
+
+    #[test]
+    fn horizon_matches_min_excluded_prefix_for_catalog() {
+        // The structural identity: first_solvable_horizon = p
+        // (Cor. III.14 / Prop. III.15), including the unbounded cases.
+        let schemes = [
+            classic::s0(),
+            classic::t_white(),
+            classic::t_black(),
+            classic::c1(),
+            classic::s1(),
+            classic::r1(),
+            classic::fair_gamma(),
+            classic::almost_fair(),
+        ];
+        for scheme in schemes {
+            let p = min_excluded_prefix(&scheme, 4).map(|(p, _)| p);
+            let h = first_solvable_horizon(&scheme, 4, &gamma());
+            assert_eq!(h, p, "{}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn avoid_prefix_horizon_is_prefix_length() {
+        for w0 in ["w", "wb", "b-w"] {
+            let scheme = ClassicScheme::AvoidPrefix(w0.parse().unwrap());
+            assert_eq!(
+                first_solvable_horizon(&scheme, 5, &gamma()),
+                Some(w0.len()),
+                "{w0}"
+            );
+        }
+    }
+
+    #[test]
+    fn canonical_minimal_obstruction_unsolvable_at_horizons() {
+        // Pref(L) = Γ* for the canonical minimal obstruction, so the
+        // checker must reject every horizon.
+        let l = CanonicalMinimalObstruction;
+        for k in 0..=5 {
+            assert!(!solvable_by(&l, k, &gamma()).is_solvable(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn empty_scheme_is_vacuously_solvable() {
+        let l = ClassicScheme::AvoidPrefix(Word::empty());
+        assert_eq!(solvable_by(&l, 3, &gamma()), CheckResult::Empty);
+        assert!(solvable_by(&l, 3, &gamma()).is_solvable());
+    }
+
+    #[test]
+    fn chain_grows_with_horizon() {
+        // Deeper horizons need longer chains to connect 0 to 1 — the
+        // quantitative face of "the impossibility proof gets harder".
+        let mut prev_len = 0;
+        for k in 1..=5 {
+            let CheckResult::Unsolvable { chain } = solvable_by(&classic::r1(), k, &gamma())
+            else {
+                panic!("R1 unsolvable");
+            };
+            assert!(chain.len() >= prev_len, "k={k}");
+            prev_len = chain.len();
+        }
+        assert!(prev_len >= 4);
+    }
+
+    #[test]
+    fn solvable_components_structure() {
+        let CheckResult::Solvable { views, components } =
+            solvable_by(&classic::s0(), 1, &gamma())
+        else {
+            panic!("S0 solvable at 1");
+        };
+        // Four executions (input pairs) over the single Full prefix:
+        // 8 final views in 4 components.
+        assert_eq!(views, 8);
+        assert_eq!(components, 4);
+    }
+
+    #[test]
+    fn parallel_checker_matches_sequential() {
+        let schemes: Vec<ClassicScheme> = vec![
+            classic::s0(),
+            classic::s1(),
+            classic::c1(),
+            classic::r1(),
+            classic::almost_fair(),
+            classic::total_budget(2),
+            ClassicScheme::AvoidPrefix("wb".parse().unwrap()),
+        ];
+        for scheme in &schemes {
+            for k in 0..=4 {
+                let seq = solvable_by(scheme, k, &gamma());
+                let par = solvable_by_par(scheme, k, &gamma());
+                assert_eq!(seq, par, "{} k={k}", scheme.name());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_checker_on_sigma_alphabet() {
+        for k in 0..=3 {
+            assert_eq!(
+                solvable_by(&classic::s2(), k, &sigma_alphabet()),
+                solvable_by_par(&classic::s2(), k, &sigma_alphabet()),
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_minus_half_pair_unsolvable_bounded() {
+        // Γω \ {-(w)} is an obstruction; its prefixes are all of Γ*, so
+        // the checker rejects every horizon.
+        let l = ClassicScheme::GammaMinus(vec!["-(w)".parse().unwrap()]);
+        for k in 0..=5 {
+            assert!(!solvable_by(&l, k, &gamma()).is_solvable(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn solvable_pair_scheme_still_unbounded_horizon() {
+        // Γω \ {-(w), b(w)} IS solvable (Theorem III.8) but with
+        // unbounded round complexity: Pref(L) = Γ*, so no fixed-horizon
+        // algorithm exists. The checker and the theorem answer different
+        // questions — and both answers are right.
+        let l = ClassicScheme::GammaMinus(vec!["-(w)".parse().unwrap(), "b(w)".parse().unwrap()]);
+        assert!(minobs_core::theorem::decide_gamma(&l).is_solvable());
+        for k in 0..=5 {
+            assert!(!solvable_by(&l, k, &gamma()).is_solvable(), "k={k}");
+        }
+    }
+
+    use minobs_core::word::Word;
+    use minobs_core::scheme::OmissionScheme;
+}

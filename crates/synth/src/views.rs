@@ -1,0 +1,158 @@
+//! Hash-consed full-information views.
+//!
+//! A view is what a process knows: its role and input at round 0, and for
+//! every later round, the pair (its previous view, the peer view it
+//! received — or `⊥`). Structurally equal views get the same [`ViewId`],
+//! so "the process cannot distinguish two executions" becomes id equality.
+
+use minobs_core::letter::Role;
+use std::collections::HashMap;
+
+/// An interned view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ViewId(pub u32);
+
+/// The defining structure of a view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViewKey {
+    /// Round-0 view: who I am and what I propose.
+    Base {
+        /// The process.
+        role: Role,
+        /// Its input bit.
+        input: bool,
+    },
+    /// Later view: my previous view plus what I received (`None` = null).
+    Extend {
+        /// My view one round earlier.
+        prev: ViewId,
+        /// The peer's view I received this round, if delivered.
+        received: Option<ViewId>,
+    },
+}
+
+/// The intern table.
+#[derive(Debug, Default)]
+pub struct ViewArena {
+    ids: HashMap<ViewKey, ViewId>,
+    keys: Vec<ViewKey>,
+}
+
+impl ViewArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a key.
+    pub fn intern(&mut self, key: ViewKey) -> ViewId {
+        if let Some(&id) = self.ids.get(&key) {
+            return id;
+        }
+        let id = ViewId(self.keys.len() as u32);
+        self.keys.push(key);
+        self.ids.insert(key, id);
+        id
+    }
+
+    /// The base view of `(role, input)`.
+    pub fn base(&mut self, role: Role, input: bool) -> ViewId {
+        self.intern(ViewKey::Base { role, input })
+    }
+
+    /// Extends `prev` by a received peer view (or `None`).
+    pub fn extend(&mut self, prev: ViewId, received: Option<ViewId>) -> ViewId {
+        self.intern(ViewKey::Extend { prev, received })
+    }
+
+    /// The key of an id.
+    pub fn key(&self, id: ViewId) -> ViewKey {
+        self.keys[id.0 as usize]
+    }
+
+    /// Number of distinct views interned.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` iff nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Walks back to the base of a view: `(role, input)`.
+    pub fn origin(&self, id: ViewId) -> (Role, bool) {
+        let mut cur = id;
+        loop {
+            match self.key(cur) {
+                ViewKey::Base { role, input } => return (role, input),
+                ViewKey::Extend { prev, .. } => cur = prev,
+            }
+        }
+    }
+
+    /// The round of a view (number of `Extend` layers).
+    pub fn round(&self, id: ViewId) -> usize {
+        let mut cur = id;
+        let mut depth = 0;
+        loop {
+            match self.key(cur) {
+                ViewKey::Base { .. } => return depth,
+                ViewKey::Extend { prev, .. } => {
+                    cur = prev;
+                    depth += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedupes() {
+        let mut arena = ViewArena::new();
+        let a = arena.base(Role::White, true);
+        let b = arena.base(Role::White, true);
+        let c = arena.base(Role::White, false);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(arena.len(), 2);
+    }
+
+    #[test]
+    fn extension_structure_matters() {
+        let mut arena = ViewArena::new();
+        let w = arena.base(Role::White, true);
+        let b = arena.base(Role::Black, false);
+        let got = arena.extend(w, Some(b));
+        let null = arena.extend(w, None);
+        assert_ne!(got, null);
+        assert_eq!(arena.extend(w, Some(b)), got);
+    }
+
+    #[test]
+    fn origin_and_round_walk_back() {
+        let mut arena = ViewArena::new();
+        let w = arena.base(Role::White, true);
+        let b = arena.base(Role::Black, false);
+        let v1 = arena.extend(w, Some(b));
+        let v2 = arena.extend(v1, None);
+        assert_eq!(arena.origin(v2), (Role::White, true));
+        assert_eq!(arena.round(v2), 2);
+        assert_eq!(arena.round(w), 0);
+    }
+
+    #[test]
+    fn identical_histories_converge_across_inputs() {
+        // Black never hears White: Black's view is independent of White's
+        // input — the core of every indistinguishability argument.
+        let mut arena = ViewArena::new();
+        let b = arena.base(Role::Black, true);
+        let b_after_silence_1 = arena.extend(b, None);
+        let b_after_silence_2 = arena.extend(b, None);
+        assert_eq!(b_after_silence_1, b_after_silence_2);
+    }
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Regenerates every experiment artifact (EXPERIMENTS.md's evidence).
+# Each binary asserts the paper claims internally; a clean exit IS the
+# reproduction. JSON rows land in target/experiments/.
+set -euo pipefail
+
+EXPERIMENTS=(
+  exp_fig1           # Figure 1: the index table + bijectivity audit
+  exp_environments   # TAB-ENV: the seven environments
+  exp_theorem_iii8   # TAB-III8: the characterization, two engines
+  exp_round_lb       # TAB-LB: tight round complexity
+  exp_bivalency      # TAB-BIVAL: mechanical bivalency chains
+  exp_spair          # TAB-SPAIR: the special-pair matching
+  exp_valency        # TAB-VALENCY: valency maps + decisive prefixes
+  exp_network        # TAB-V1: the f < c(G) threshold
+  exp_reduction      # TAB-RED: emulation equivalence + A_L
+  exp_budget         # TAB-BUDGET: the classic f+1 bound
+  exp_sigma          # TAB-SIGMA: double omission (open §VI), mapped
+)
+
+for exp in "${EXPERIMENTS[@]}"; do
+  echo
+  echo "================================================================"
+  echo ">>> $exp"
+  echo "================================================================"
+  cargo run --release --quiet --bin "$exp"
+done
+
+echo
+echo "All experiments reproduced. Artifacts: target/experiments/*.json"

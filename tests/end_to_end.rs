@@ -1,0 +1,170 @@
+//! End-to-end integration: scheme → Theorem III.8 verdict → witness →
+//! `A_w` → executor → consensus audit, across the whole classic catalog.
+
+use minobs_core::prelude::*;
+use minobs_core::scenario::enumerate_gamma_lassos;
+
+/// Runs `A_w` with the given witness on `scenario` for all four input
+/// pairs and asserts consensus.
+fn assert_consensus_all_inputs(w: &Scenario, scenario: &Scenario, budget: usize) {
+    for wi in [false, true] {
+        for bi in [false, true] {
+            let mut white = AwProcess::new(Role::White, wi, w.clone());
+            let mut black = AwProcess::new(Role::Black, bi, w.clone());
+            let out = run_two_process(&mut white, &mut black, scenario, budget);
+            assert!(
+                out.verdict.is_consensus(),
+                "A_{w} on {scenario} inputs ({wi},{bi}): {:?}",
+                out.verdict
+            );
+        }
+    }
+}
+
+#[test]
+fn solvable_catalog_schemes_run_to_consensus_via_their_witnesses() {
+    // For every solvable classic scheme: take the Theorem III.8 witness,
+    // instantiate A_w, and run it against every lasso member of the scheme
+    // from the small universe. All runs must reach consensus.
+    let schemes = [
+        classic::s0(),
+        classic::t_white(),
+        classic::t_black(),
+        classic::c1(),
+        classic::s1(),
+        classic::almost_fair(),
+        classic::fair_gamma(),
+    ];
+    let universe = enumerate_gamma_lassos(2, 2);
+    for scheme in schemes {
+        let verdict = decide_classic(&scheme);
+        let w = verdict
+            .witness()
+            .unwrap_or_else(|| panic!("{} should be solvable", scheme.name()))
+            .clone();
+        let mut members = 0;
+        for s in &universe {
+            if !scheme.contains(s) {
+                continue;
+            }
+            members += 1;
+            assert_consensus_all_inputs(&w, s, 256);
+        }
+        assert!(members > 0, "{} must have lasso members", scheme.name());
+    }
+}
+
+#[test]
+fn obstruction_schemes_have_no_finite_horizon_algorithm() {
+    use minobs_synth::checker::{gamma_alphabet, sigma_alphabet, solvable_by};
+    for k in 0..=5 {
+        assert!(!solvable_by(&classic::r1(), k, &gamma_alphabet()).is_solvable());
+    }
+    for k in 0..=4 {
+        assert!(!solvable_by(&classic::s2(), k, &sigma_alphabet()).is_solvable());
+    }
+}
+
+#[test]
+fn regular_and_classic_catalogs_agree_end_to_end() {
+    use minobs_omega::schemes::*;
+    let pairs: Vec<(minobs_omega::RegularScheme, ClassicScheme)> = vec![
+        (regular_s0(), classic::s0()),
+        (regular_t(Role::White), classic::t_white()),
+        (regular_c1(), classic::c1()),
+        (regular_s1(), classic::s1()),
+        (regular_r1(), classic::r1()),
+        (regular_fair(), classic::fair_gamma()),
+        (regular_almost_fair(), classic::almost_fair()),
+    ];
+    for (reg, cls) in pairs {
+        let rv = decide_regular(&reg);
+        let cv = decide_classic(&cls);
+        assert_eq!(rv.is_solvable(), cv.is_solvable(), "{}", cls.name());
+        // Witnesses from the regular path drive A_w just as well: check on
+        // a couple of members.
+        if let Some(w) = rv.witness() {
+            for s in enumerate_gamma_lassos(1, 1) {
+                if cls.contains(&s) && *w != s {
+                    assert_consensus_all_inputs(w, &s, 256);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn early_stopping_round_counts_match_section_iv_a() {
+    use minobs_core::theorem::min_excluded_prefix;
+    // Section IV-A table: (scheme, worst-case rounds).
+    let expected: [(ClassicScheme, usize); 5] = [
+        (classic::s0(), 1),
+        (classic::t_white(), 1),
+        (classic::t_black(), 1),
+        (classic::c1(), 2),
+        (classic::s1(), 2),
+    ];
+    let universe = enumerate_gamma_lassos(2, 2);
+    for (scheme, rounds) in expected {
+        let (p, w0) = min_excluded_prefix(&scheme, 4).unwrap();
+        assert_eq!(p, rounds, "{}", scheme.name());
+        // Cap A_w at p with the forbidden word w0 extended unfairly; every
+        // member must reach consensus within p rounds.
+        let w = Scenario::new(w0.to_word(), "b".parse().unwrap());
+        let mut worst = 0;
+        for s in &universe {
+            if !scheme.contains(s) {
+                continue;
+            }
+            for wi in [false, true] {
+                for bi in [false, true] {
+                    let mut white = AwProcess::new(Role::White, wi, w.clone()).with_round_cap(p);
+                    let mut black = AwProcess::new(Role::Black, bi, w.clone()).with_round_cap(p);
+                    let out = run_two_process(&mut white, &mut black, s, 64);
+                    assert!(
+                        out.verdict.is_consensus(),
+                        "{} on {s} ({wi},{bi}): {:?}",
+                        scheme.name(),
+                        out.verdict
+                    );
+                    worst = worst.max(out.rounds);
+                }
+            }
+        }
+        assert_eq!(worst, rounds, "{} worst-case rounds", scheme.name());
+    }
+}
+
+#[test]
+fn minimal_obstruction_sits_between_solvable_and_r1() {
+    use minobs_core::minimal::{is_lower_pair_member, CanonicalMinimalObstruction};
+    use minobs_core::scheme::OmissionScheme;
+    let l = CanonicalMinimalObstruction;
+    assert!(!minobs_core::theorem::decide_gamma(&l).is_solvable());
+    let universe = enumerate_gamma_lassos(2, 1);
+    let mut lowers = 0;
+    for s in &universe {
+        if is_lower_pair_member(s) == Some(true) {
+            assert!(!l.contains(s));
+            lowers += 1;
+        }
+    }
+    assert!(lowers >= 3, "universe must exercise several lower members");
+}
+
+#[test]
+fn stubborn_protocol_fails_exactly_on_mixed_inputs() {
+    use minobs_core::engine::StubbornProtocol;
+    let s: Scenario = "(-)".parse().unwrap();
+    for wi in [false, true] {
+        for bi in [false, true] {
+            let out = run_two_process(
+                &mut StubbornProtocol::new(Role::White, wi),
+                &mut StubbornProtocol::new(Role::Black, bi),
+                &s,
+                4,
+            );
+            assert_eq!(out.verdict.is_consensus(), wi == bi);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Cross-validation of the three independent solvability engines:
+//!
+//! 1. the exact Theorem III.8 procedure on classic schemes;
+//! 2. the ω-automata procedure on regular schemes;
+//! 3. the full-information bounded model checker.
+//!
+//! Where their domains overlap they must never contradict each other —
+//! and the ways they legitimately differ (bounded vs unbounded rounds)
+//! are asserted too.
+
+use minobs_core::prelude::*;
+use minobs_core::scenario::enumerate_gamma_lassos;
+use minobs_core::theorem::min_excluded_prefix;
+use minobs_omega::schemes as rs;
+use minobs_synth::checker::{first_solvable_horizon, gamma_alphabet, solvable_by};
+
+#[test]
+fn bounded_solvability_implies_theorem_solvability() {
+    // If the checker finds a k-round algorithm, Theorem III.8 must agree
+    // the scheme is solvable (the converse fails for unbounded schemes).
+    let schemes = [
+        classic::s0(),
+        classic::t_white(),
+        classic::t_black(),
+        classic::c1(),
+        classic::s1(),
+        classic::r1(),
+        classic::fair_gamma(),
+        classic::almost_fair(),
+    ];
+    for scheme in schemes {
+        let bounded = first_solvable_horizon(&scheme, 4, &gamma_alphabet()).is_some();
+        let solvable = decide_classic(&scheme).is_solvable();
+        if bounded {
+            assert!(solvable, "{}: bounded ⟹ solvable", scheme.name());
+        }
+        if !solvable {
+            assert!(!bounded, "{}: obstruction ⟹ unbounded", scheme.name());
+        }
+    }
+}
+
+#[test]
+fn horizon_equals_prefix_bound_everywhere() {
+    // first_solvable_horizon = min_excluded_prefix — Corollary III.14 and
+    // Proposition III.15 fused into one executable identity, on classic
+    // and constructed schemes alike.
+    let mut schemes: Vec<ClassicScheme> = vec![
+        classic::s0(),
+        classic::t_white(),
+        classic::c1(),
+        classic::s1(),
+        classic::r1(),
+        classic::fair_gamma(),
+    ];
+    for w0 in ["w", "b-", "wbw", "---"] {
+        schemes.push(ClassicScheme::AvoidPrefix(w0.parse().unwrap()));
+    }
+    for scheme in schemes {
+        let p = min_excluded_prefix(&scheme, 4).map(|(p, _)| p);
+        let h = first_solvable_horizon(&scheme, 4, &gamma_alphabet());
+        assert_eq!(h, p, "{}", scheme.name());
+    }
+}
+
+#[test]
+fn regular_engine_agrees_with_checker_on_bounded_schemes() {
+    // Regular schemes with a finite prefix bound: the automata engine says
+    // solvable, the checker finds the same horizon as the classic twin.
+    let g: GammaWord = "wb".parse().unwrap();
+    let reg = rs::regular_avoid_prefix(&g);
+    let cls = ClassicScheme::AvoidPrefix(g.to_word());
+    assert!(rs::decide_regular(&reg).is_solvable());
+    assert_eq!(
+        first_solvable_horizon(&reg, 4, &gamma_alphabet()),
+        first_solvable_horizon(&cls, 4, &gamma_alphabet()),
+    );
+    assert_eq!(first_solvable_horizon(&reg, 4, &gamma_alphabet()), Some(2));
+}
+
+#[test]
+fn random_gamma_minus_schemes_cross_validate() {
+    // Build Γω \ X for many small X drawn from the lasso universe; the
+    // classic and regular engines must agree exactly, and the checker must
+    // reject every bounded horizon (Pref stays Γ*).
+    let universe = enumerate_gamma_lassos(1, 2);
+    let mut checked = 0;
+    for i in 0..universe.len() {
+        for j in (i + 1)..universe.len().min(i + 6) {
+            let excluded = vec![universe[i].clone(), universe[j].clone()];
+            let cls = ClassicScheme::GammaMinus(excluded.clone());
+            let reg = rs::regular_gamma_minus(&excluded);
+            let cv = decide_classic(&cls);
+            let rv = rs::decide_regular(&reg);
+            assert_eq!(
+                cv.is_solvable(),
+                rv.is_solvable(),
+                "X = {{{}, {}}}",
+                universe[i],
+                universe[j]
+            );
+            for k in 0..=3 {
+                assert!(
+                    !solvable_by(&cls, k, &gamma_alphabet()).is_solvable(),
+                    "Γω minus finite sets cannot be solved with bounded rounds"
+                );
+            }
+            checked += 1;
+        }
+    }
+    assert!(checked > 20);
+}
+
+#[test]
+fn witnesses_from_both_engines_drive_aw_correctly() {
+    // For solvable Γω \ {pair}: both engines' witnesses must parameterize
+    // a working A_w on members of the scheme.
+    let excluded: Vec<Scenario> = vec!["-(w)".parse().unwrap(), "b(w)".parse().unwrap()];
+    let cls = ClassicScheme::GammaMinus(excluded.clone());
+    let reg = rs::regular_gamma_minus(&excluded);
+    for verdict in [decide_classic(&cls), rs::decide_regular(&reg)] {
+        let w = verdict.witness().expect("solvable").clone();
+        for s in enumerate_gamma_lassos(1, 2) {
+            if !cls.contains(&s) {
+                continue;
+            }
+            for wi in [false, true] {
+                for bi in [false, true] {
+                    let mut white = AwProcess::new(Role::White, wi, w.clone());
+                    let mut black = AwProcess::new(Role::Black, bi, w.clone());
+                    let out = run_two_process(&mut white, &mut black, &s, 400);
+                    assert!(
+                        out.verdict.is_consensus(),
+                        "witness {w} on {s} ({wi},{bi}): {:?}",
+                        out.verdict
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn spair_relation_is_consistent_across_all_three_representations() {
+    // Direct decision, automata acceptance, and partner construction all
+    // tell the same story about the special-pair relation.
+    use minobs_core::spair::{classify_pair, special_partner, SPairVerdict};
+    use minobs_omega::pairs::{gamma_index, pair_index, spair_obligation};
+    let lassos = enumerate_gamma_lassos(2, 1);
+    let obligation = spair_obligation();
+    for a in &lassos {
+        for b in &lassos {
+            let direct = classify_pair(a, b).is_special();
+            // Automata check (align lassos to a common representation).
+            let pre = a.lasso_prefix().len().max(b.lasso_prefix().len());
+            let cl = a.lasso_cycle().len() * b.lasso_cycle().len();
+            let at = |s: &Scenario, r: usize| gamma_index(s.letter_at(r).to_gamma().unwrap());
+            let prefix: Vec<usize> = (0..pre).map(|r| pair_index(at(a, r), at(b, r))).collect();
+            let cycle: Vec<usize> = (pre..pre + cl)
+                .map(|r| pair_index(at(a, r), at(b, r)))
+                .collect();
+            assert_eq!(direct, obligation.accepts_lasso(&prefix, &cycle), "{a}/{b}");
+            // Partner construction: if (a,b) special then b is among a's
+            // partners.
+            if direct {
+                let partners =
+                    minobs_core::spair::special_partners(a, a.repr_len() + b.repr_len() + 2);
+                assert!(partners.contains(b), "{b} missing from partners of {a}");
+                assert!(special_partner(a).is_some());
+            } else if a == b {
+                assert_eq!(classify_pair(a, b), SPairVerdict::EqualWords);
+            }
+        }
+    }
+}
