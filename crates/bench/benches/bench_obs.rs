@@ -1,0 +1,65 @@
+//! BENCH-OBS — the observability tax.
+//!
+//! Three variants of the acceptance workload (hypercube(4) flooding to
+//! consensus under no faults, the ISSUE's reference case):
+//!
+//! * `baseline` — the pre-instrumentation entry point `run_network`,
+//!   which now wraps `run_network_with_recorder(&mut NullRecorder)`;
+//! * `null_recorder` — the recorder-threaded path called explicitly;
+//! * `memory_recorder` — full event capture, to show what the gated
+//!   work costs when actually enabled.
+//!
+//! The first two must be indistinguishable (within noise, <2%): with
+//! `NullRecorder`, `enabled()` is a constant `false`, so timers, decision
+//! scans, and per-message event construction never run, and the inlined
+//! no-op hooks fold away. `memory_recorder` is expected to be visibly
+//! slower — that gap is the work the gate keeps off the default path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minobs_graphs::generators;
+use minobs_net::{DecisionRule, FloodConsensus};
+use minobs_obs::{MemoryRecorder, NullRecorder};
+use minobs_sim::adversary::NoFault;
+use minobs_sim::network::{run_network, run_network_with_recorder};
+use std::hint::black_box;
+
+fn bench_null_recorder_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+    let g = generators::hypercube(4);
+    let n = g.vertex_count();
+    let inputs: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
+
+    group.bench_function("hypercube4_flood/baseline", |b| {
+        b.iter(|| {
+            let nodes = FloodConsensus::fleet(&g, &inputs, DecisionRule::ValueOfMinId);
+            black_box(run_network(&g, nodes, &mut NoFault, 2 * n))
+        })
+    });
+
+    group.bench_function("hypercube4_flood/null_recorder", |b| {
+        b.iter(|| {
+            let nodes = FloodConsensus::fleet(&g, &inputs, DecisionRule::ValueOfMinId);
+            black_box(run_network_with_recorder(
+                &g,
+                nodes,
+                &mut NoFault,
+                2 * n,
+                &mut NullRecorder,
+            ))
+        })
+    });
+
+    group.bench_function("hypercube4_flood/memory_recorder", |b| {
+        b.iter(|| {
+            let nodes = FloodConsensus::fleet(&g, &inputs, DecisionRule::ValueOfMinId);
+            let mut recorder = MemoryRecorder::new();
+            let out = run_network_with_recorder(&g, nodes, &mut NoFault, 2 * n, &mut recorder);
+            black_box((out, recorder.into_events()))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_null_recorder_overhead);
+criterion_main!(benches);

@@ -7,11 +7,12 @@
 //! the cut adversary wins at `f = c(G)` — including on the families with
 //! `c(G) < deg(G)` where \[SW07\] left the question open.
 
-use minobs_bench::{mark, Report};
+use minobs_bench::{mark, trace_sink_for, Report};
 use minobs_graphs::{cut_partition, edge_connectivity, generators, min_degree, Graph};
 use minobs_net::{DecisionRule, FloodConsensus};
+use minobs_obs::{NullRecorder, Recorder, RoundCounts, RoundTimer};
 use minobs_sim::adversary::{BudgetChecked, CutAdversary, GreedyCutAdversary, RandomOmissions};
-use minobs_sim::network::run_network;
+use minobs_sim::network::run_network_with_recorder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -41,35 +42,47 @@ fn families() -> Vec<(String, Graph)> {
     v
 }
 
-fn flood_under_random_f(g: &Graph, f: usize, seeds: u64) -> bool {
+fn flood_under_random_f(g: &Graph, f: usize, seeds: u64, recorder: &mut dyn Recorder) -> bool {
     let n = g.vertex_count();
     let inputs: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
     (0..seeds).all(|seed| {
         let nodes = FloodConsensus::fleet(g, &inputs, DecisionRule::ValueOfMinId);
         let mut adv = BudgetChecked::new(RandomOmissions::new(f, StdRng::seed_from_u64(seed)), f);
-        run_network(g, nodes, &mut adv, 2 * n).verdict.is_consensus()
+        run_network_with_recorder(g, nodes, &mut adv, 2 * n, recorder)
+            .verdict
+            .is_consensus()
     })
 }
 
-fn flood_under_cut(g: &Graph) -> (bool, bool) {
+fn flood_under_cut(g: &Graph, recorder: &mut dyn Recorder) -> (bool, bool) {
     let n = g.vertex_count();
     let inputs: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
     let p = cut_partition(g).expect("connected");
     let scripted = {
         let nodes = FloodConsensus::fleet(g, &inputs, DecisionRule::ValueOfMinId);
         let mut adv = CutAdversary::new(&p, "(w)".parse().unwrap());
-        run_network(g, nodes, &mut adv, 2 * n).verdict.is_consensus()
+        run_network_with_recorder(g, nodes, &mut adv, 2 * n, recorder)
+            .verdict
+            .is_consensus()
     };
     let greedy = {
         let nodes = FloodConsensus::fleet(g, &inputs, DecisionRule::ValueOfMinId);
         let mut adv = GreedyCutAdversary::new(&p);
-        run_network(g, nodes, &mut adv, 2 * n).verdict.is_consensus()
+        run_network_with_recorder(g, nodes, &mut adv, 2 * n, recorder)
+            .verdict
+            .is_consensus()
     };
     (scripted, greedy)
 }
 
 fn main() {
     println!("== TAB-V1: consensus on G iff f < c(G) (Theorem V.1) ==\n");
+    // MINOBS_TRACE=1 (or =<path>) streams every engine run in this binary
+    // as JSONL; the artifact's meta block points at the file.
+    let mut trace = trace_sink_for("exp_network");
+    let trace_path = trace.as_ref().map(|(_, path)| path.clone());
+    let mut null = NullRecorder;
+
     let mut report = Report::new(
         "network_threshold",
         &[
@@ -89,10 +102,18 @@ fn main() {
         let n = g.vertex_count();
         let c = edge_connectivity(&g);
         let d = min_degree(&g);
+        let recorder: &mut dyn Recorder = match trace.as_mut() {
+            Some((sink, _)) => sink,
+            None => &mut null,
+        };
         // Below the threshold: every f < c must succeed (spot-check f = c-1
         // which dominates; smaller f only get easier).
-        let below = if c > 0 { flood_under_random_f(&g, c - 1, 5) } else { true };
-        let (cut_ok, greedy_ok) = flood_under_cut(&g);
+        let below = if c > 0 {
+            flood_under_random_f(&g, c - 1, 5, recorder)
+        } else {
+            true
+        };
+        let (cut_ok, greedy_ok) = flood_under_cut(&g, recorder);
         let shape = below && !cut_ok && !greedy_ok;
         assert!(shape, "{name}: threshold shape violated");
         report.row(&[
@@ -106,6 +127,9 @@ fn main() {
             &mark(greedy_ok),
             &mark(shape),
         ]);
+    }
+    if let Some(path) = &trace_path {
+        report.note_trace(path);
     }
     report.finish();
 
@@ -126,18 +150,38 @@ fn main() {
     for (name, g) in families().into_iter().take(8) {
         let n = g.vertex_count();
         let inputs: Vec<u64> = (0..n as u64).collect();
+        let recorder: &mut dyn Recorder = match trace.as_mut() {
+            Some((sink, _)) => sink,
+            None => &mut null,
+        };
         let nodes = FloodConsensus::fleet(&g, &inputs, DecisionRule::ValueOfMinId);
-        let out = run_network(&g, nodes, &mut minobs_sim::adversary::NoFault, 2 * n);
+        let out =
+            run_network_with_recorder(&g, nodes, &mut minobs_sim::adversary::NoFault, 2 * n, recorder);
         assert!(out.verdict.is_consensus());
 
         let early: Vec<FloodConsensus> = FloodConsensus::fleet(&g, &inputs, DecisionRule::ValueOfMinId)
             .into_iter()
             .map(|node| node.early_deciding())
             .collect();
+        // Manual stepping bypasses run_with_recorder, so frame the rounds
+        // ourselves — trace consumers expect run_start .. run_end scoping.
         let mut net = minobs_sim::network::SyncNetwork::new(&g, early);
+        let run_timer = RoundTimer::start_if(recorder.enabled());
+        recorder.on_run_start("network", n, 1);
         while !net.all_halted() {
-            net.step(&mut minobs_sim::adversary::NoFault);
+            net.step_with_recorder(&mut minobs_sim::adversary::NoFault, recorder);
         }
+        let stats = net.stats();
+        recorder.on_run_end(
+            stats.rounds,
+            RoundCounts {
+                sent: stats.messages_sent,
+                delivered: stats.messages_delivered,
+                dropped: stats.messages_dropped,
+                misaddressed: stats.misaddressed,
+            },
+            run_timer.elapsed_nanos(),
+        );
         let early_rounds: Vec<usize> = net
             .nodes()
             .iter()
@@ -150,7 +194,15 @@ fn main() {
         );
         rounds.row(&[&name, &n, &out.stats.rounds, &out.stats.messages_sent, &span]);
     }
+    if let Some(path) = &trace_path {
+        rounds.note_trace(path);
+    }
     rounds.finish();
+    if let Some((sink, path)) = trace.take() {
+        let lines = sink.lines();
+        drop(sink);
+        println!("[trace {} lines -> {}]", lines, path.display());
+    }
     println!(
         "\nEarly deciding fixes the value at knowledge completion (≈ eccentricity)\n\
          while relaying continues to the n-1 deadline — the decisions coincide."

@@ -1,0 +1,222 @@
+//! Validates a minobs JSONL trace file.
+//!
+//! Usage: `trace_lint <trace.jsonl>`. Checks that
+//!
+//! 1. every line parses as JSON and carries the stable fields `schema`
+//!    (matching the current version), `event`, and `round`;
+//! 2. within each run (`run_start` .. `run_end`), per-message `dropped`
+//!    events and per-round `round_end.dropped` counts both sum to the
+//!    `run_end` total — the trace-level face of the engines' message
+//!    conservation invariant;
+//! 3. the same holds for `sent` and `delivered`.
+//!
+//! Exits non-zero with a description of the first violation. CI runs this
+//! over the trace emitted by `exp_network` under `MINOBS_TRACE=1`.
+
+use minobs_obs::SCHEMA;
+use serde_json::Value;
+use std::process::ExitCode;
+
+#[derive(Debug, Default)]
+struct RunTally {
+    message_dropped: u64,
+    round_sent: u64,
+    round_delivered: u64,
+    round_dropped: u64,
+    rounds_seen: u64,
+}
+
+fn field_u64(value: &Value, key: &str, line_no: usize) -> Result<u64, String> {
+    value
+        .get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("line {line_no}: missing numeric field {key:?}"))
+}
+
+fn lint(text: &str) -> Result<(usize, usize), String> {
+    let mut runs_closed = 0usize;
+    let mut lines_checked = 0usize;
+    let mut current: Option<RunTally> = None;
+
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        if line.trim().is_empty() {
+            return Err(format!("line {line_no}: blank line in JSONL stream"));
+        }
+        let value: Value = serde_json::from_str(line)
+            .map_err(|err| format!("line {line_no}: not valid JSON: {err}"))?;
+        let schema = value
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("line {line_no}: missing \"schema\""))?;
+        if schema != SCHEMA {
+            return Err(format!(
+                "line {line_no}: schema {schema:?}, expected {SCHEMA:?}"
+            ));
+        }
+        let event = value
+            .get("event")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("line {line_no}: missing \"event\""))?;
+        field_u64(&value, "round", line_no)?;
+        lines_checked += 1;
+
+        match event {
+            "run_start" => {
+                if current.is_some() {
+                    return Err(format!("line {line_no}: run_start inside an open run"));
+                }
+                current = Some(RunTally::default());
+            }
+            "message" => {
+                let tally = current
+                    .as_mut()
+                    .ok_or_else(|| format!("line {line_no}: message outside a run"))?;
+                let status = value
+                    .get("status")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("line {line_no}: message missing \"status\""))?;
+                if status == "dropped" {
+                    tally.message_dropped += 1;
+                }
+            }
+            "round_end" => {
+                let tally = current
+                    .as_mut()
+                    .ok_or_else(|| format!("line {line_no}: round_end outside a run"))?;
+                let sent = field_u64(&value, "sent", line_no)?;
+                let delivered = field_u64(&value, "delivered", line_no)?;
+                let dropped = field_u64(&value, "dropped", line_no)?;
+                if sent != delivered + dropped {
+                    return Err(format!(
+                        "line {line_no}: round conservation broken: sent {sent} != delivered {delivered} + dropped {dropped}"
+                    ));
+                }
+                tally.round_sent += sent;
+                tally.round_delivered += delivered;
+                tally.round_dropped += dropped;
+                tally.rounds_seen += 1;
+            }
+            "run_end" => {
+                let tally = current
+                    .take()
+                    .ok_or_else(|| format!("line {line_no}: run_end without run_start"))?;
+                let rounds = field_u64(&value, "round", line_no)?;
+                let sent = field_u64(&value, "sent", line_no)?;
+                let delivered = field_u64(&value, "delivered", line_no)?;
+                let dropped = field_u64(&value, "dropped", line_no)?;
+                if rounds != tally.rounds_seen {
+                    return Err(format!(
+                        "line {line_no}: run_end reports {rounds} rounds, trace has {} round_end events",
+                        tally.rounds_seen
+                    ));
+                }
+                for (label, total, accumulated) in [
+                    ("sent", sent, tally.round_sent),
+                    ("delivered", delivered, tally.round_delivered),
+                    ("dropped", dropped, tally.round_dropped),
+                ] {
+                    if total != accumulated {
+                        return Err(format!(
+                            "line {line_no}: run_end {label} {total} != per-round sum {accumulated}"
+                        ));
+                    }
+                }
+                if tally.message_dropped != dropped {
+                    return Err(format!(
+                        "line {line_no}: {} dropped message events, run_end reports {dropped}",
+                        tally.message_dropped
+                    ));
+                }
+                runs_closed += 1;
+            }
+            // decision/span/checker_round/horizon need no cross-checks here.
+            _ => {}
+        }
+    }
+    if current.is_some() {
+        return Err("trace ends inside an open run (no final run_end)".to_string());
+    }
+    Ok((lines_checked, runs_closed))
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: trace_lint <trace.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("trace_lint: cannot read {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if text.is_empty() {
+        eprintln!("trace_lint: {path} is empty — was MINOBS_TRACE set?");
+        return ExitCode::FAILURE;
+    }
+    match lint(&text) {
+        Ok((lines, runs)) => {
+            println!("trace_lint: {path}: {lines} lines, {runs} runs, all invariants hold");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("trace_lint: {path}: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::lint;
+
+    fn line(s: &str) -> String {
+        s.replace("SCHEMA", minobs_obs::SCHEMA)
+    }
+
+    #[test]
+    fn accepts_a_conserving_run() {
+        let text = [
+            r#"{"schema":"SCHEMA","event":"run_start","round":0,"engine":"network","nodes":2,"threads":1}"#,
+            r#"{"schema":"SCHEMA","event":"message","round":0,"from":0,"to":1,"status":"dropped"}"#,
+            r#"{"schema":"SCHEMA","event":"message","round":0,"from":1,"to":0,"status":"delivered"}"#,
+            r#"{"schema":"SCHEMA","event":"round_end","round":0,"sent":2,"delivered":1,"dropped":1,"misaddressed":0,"nanos":0}"#,
+            r#"{"schema":"SCHEMA","event":"run_end","round":1,"sent":2,"delivered":1,"dropped":1,"misaddressed":0,"nanos":0}"#,
+        ]
+        .map(|s| line(s))
+        .join("\n");
+        assert_eq!(lint(&text), Ok((5, 1)));
+    }
+
+    #[test]
+    fn rejects_drop_sum_mismatch() {
+        let text = [
+            r#"{"schema":"SCHEMA","event":"run_start","round":0,"engine":"network","nodes":2,"threads":1}"#,
+            r#"{"schema":"SCHEMA","event":"round_end","round":0,"sent":2,"delivered":1,"dropped":1,"misaddressed":0,"nanos":0}"#,
+            r#"{"schema":"SCHEMA","event":"run_end","round":1,"sent":2,"delivered":1,"dropped":1,"misaddressed":0,"nanos":0}"#,
+        ]
+        .map(|s| line(s))
+        .join("\n");
+        // round_end claims a drop but no dropped message event exists.
+        let err = lint(&text).unwrap_err();
+        assert!(err.contains("dropped message events"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_schema_and_bad_json() {
+        assert!(lint(r#"{"schema":"other/v9","event":"x","round":0}"#)
+            .unwrap_err()
+            .contains("schema"));
+        assert!(lint("not json").unwrap_err().contains("not valid JSON"));
+    }
+
+    #[test]
+    fn rejects_unterminated_run() {
+        let text = line(
+            r#"{"schema":"SCHEMA","event":"run_start","round":0,"engine":"network","nodes":2,"threads":1}"#,
+        );
+        assert!(lint(&text).unwrap_err().contains("open run"));
+    }
+}

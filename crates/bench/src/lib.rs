@@ -2,14 +2,48 @@
 //!
 //! One binary per paper artifact (see DESIGN.md's experiment index), each
 //! printing the regenerated rows and appending machine-readable JSON to
-//! `target/experiments/<id>.json`. Criterion benches measure the
-//! substrate itself (index calculus, engines, connectivity, model
-//! checker) including the ablations DESIGN.md calls out.
+//! `$MINOBS_EXP_DIR/<id>.json` (default `target/experiments`). Criterion
+//! benches measure the substrate itself (index calculus, engines,
+//! connectivity, model checker) including the ablations DESIGN.md calls
+//! out. Structured JSONL tracing for any experiment binary is switched on
+//! with `MINOBS_TRACE` (see docs/OBSERVABILITY.md).
 
-use serde::Serialize;
+use minobs_obs::{trace_path_from_env, JsonlSink};
+use serde_json::{Map, Value};
 use std::fmt::Display;
-use std::fs;
-use std::path::PathBuf;
+use std::fs::{self, File};
+use std::io::BufWriter;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// The artifact directory: `$MINOBS_EXP_DIR`, or `target/experiments`.
+pub fn experiment_dir() -> PathBuf {
+    match std::env::var("MINOBS_EXP_DIR") {
+        Ok(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => PathBuf::from("target/experiments"),
+    }
+}
+
+/// Opens the JSONL trace sink requested via `MINOBS_TRACE` for the
+/// experiment binary `id`, defaulting to `<experiment_dir>/<id>.trace.jsonl`.
+/// Returns the sink with the path it writes to, or `None` when tracing is
+/// off. Failures to open the file are reported to stderr and treated as
+/// tracing-off rather than aborting the experiment.
+pub fn trace_sink_for(id: &str) -> Option<(JsonlSink<BufWriter<File>>, PathBuf)> {
+    let default = experiment_dir().join(format!("{id}.trace.jsonl"));
+    let path = trace_path_from_env(&default)?;
+    match JsonlSink::create(&path) {
+        Ok(sink) => Some((sink, path)),
+        Err(err) => {
+            eprintln!(
+                "minobs-bench: cannot open trace file {}: {err}",
+                path.display()
+            );
+            None
+        }
+    }
+}
 
 /// A rendered experiment table plus its JSON sink.
 pub struct Report {
@@ -17,6 +51,7 @@ pub struct Report {
     header: Vec<String>,
     widths: Vec<usize>,
     rows: Vec<Vec<String>>,
+    trace: Option<PathBuf>,
 }
 
 impl Report {
@@ -27,7 +62,14 @@ impl Report {
             header: header.iter().map(|s| s.to_string()).collect(),
             widths: header.iter().map(|s| s.len()).collect(),
             rows: Vec::new(),
+            trace: None,
         }
+    }
+
+    /// Records the JSONL trace file this experiment streamed to, so the
+    /// artifact points at it.
+    pub fn note_trace(&mut self, path: &Path) {
+        self.trace = Some(path.to_path_buf());
     }
 
     /// Adds a row (already stringified).
@@ -41,7 +83,7 @@ impl Report {
     }
 
     /// Prints the table and writes the JSON artifact. Returns the JSON
-    /// path when the write succeeded.
+    /// path when the write succeeded; failures are reported to stderr.
     pub fn finish(self) -> Option<PathBuf> {
         let line = |cells: &[String], widths: &[usize]| -> String {
             cells
@@ -57,25 +99,113 @@ impl Report {
             println!("{}", line(row, &self.widths));
         }
 
-        #[derive(Serialize)]
-        struct Artifact<'a> {
-            id: &'a str,
-            header: &'a [String],
-            rows: &'a [Vec<String>],
+        let mut artifact = Map::new();
+        artifact.insert("id", Value::from(self.id.as_str()));
+        artifact.insert("meta", run_metadata(self.trace.as_deref()));
+        artifact.insert(
+            "header",
+            Value::from(self.header.iter().map(String::as_str).collect::<Vec<_>>()),
+        );
+        artifact.insert(
+            "rows",
+            Value::Array(
+                self.rows
+                    .iter()
+                    .map(|row| Value::from(row.iter().map(String::as_str).collect::<Vec<_>>()))
+                    .collect(),
+            ),
+        );
+
+        let dir = experiment_dir();
+        if let Err(err) = fs::create_dir_all(&dir) {
+            eprintln!(
+                "minobs-bench: cannot create artifact dir {}: {err}",
+                dir.display()
+            );
+            return None;
         }
-        let artifact = Artifact {
-            id: &self.id,
-            header: &self.header,
-            rows: &self.rows,
-        };
-        let dir = PathBuf::from("target/experiments");
-        fs::create_dir_all(&dir).ok()?;
         let path = dir.join(format!("{}.json", self.id));
-        let json = serde_json::to_string_pretty(&artifact).ok()?;
-        fs::write(&path, json).ok()?;
+        let json = match serde_json::to_string_pretty(&Value::Object(artifact)) {
+            Ok(json) => json,
+            Err(err) => {
+                eprintln!("minobs-bench: artifact serialisation failed: {err}");
+                return None;
+            }
+        };
+        if let Err(err) = fs::write(&path, json) {
+            eprintln!(
+                "minobs-bench: cannot write artifact {}: {err}",
+                path.display()
+            );
+            return None;
+        }
         println!("\n[written {}]", path.display());
         Some(path)
     }
+}
+
+/// The provenance block embedded in every artifact: wall-clock timestamp,
+/// toolchain version, machine parallelism, and (when tracing was on) the
+/// JSONL trace the run produced.
+fn run_metadata(trace: Option<&Path>) -> Value {
+    let mut meta = Map::new();
+    let unix_secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    meta.insert("unix_secs", Value::from(unix_secs));
+    meta.insert("timestamp", Value::from(iso8601_utc(unix_secs)));
+    meta.insert("rustc", Value::from(rustc_version()));
+    meta.insert(
+        "threads",
+        Value::from(
+            std::thread::available_parallelism()
+                .map(|n| n.get() as u64)
+                .unwrap_or(1),
+        ),
+    );
+    meta.insert(
+        "trace",
+        match trace {
+            Some(path) => Value::from(path.display().to_string()),
+            None => Value::Null,
+        },
+    );
+    Value::Object(meta)
+}
+
+fn rustc_version() -> String {
+    Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// `YYYY-MM-DDThh:mm:ssZ` from seconds since the Unix epoch (UTC).
+fn iso8601_utc(unix_secs: u64) -> String {
+    let days = unix_secs / 86_400;
+    let secs_of_day = unix_secs % 86_400;
+    // Civil-from-days (Howard Hinnant's algorithm), valid from 1970 on.
+    let z = days as i64 + 719_468;
+    let era = z / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let year = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = if month <= 2 { year + 1 } else { year };
+    format!(
+        "{year:04}-{month:02}-{day:02}T{:02}:{:02}:{:02}Z",
+        secs_of_day / 3_600,
+        (secs_of_day / 60) % 60,
+        secs_of_day % 60
+    )
 }
 
 /// Formats a boolean as the check glyphs used across experiment tables.
@@ -100,6 +230,29 @@ mod tests {
         let text = std::fs::read_to_string(path).unwrap();
         assert!(text.contains("selftest"));
         assert!(text.contains("yy"));
+        let value: Value = serde_json::from_str(&text).unwrap();
+        let meta = value.get("meta").expect("meta block");
+        assert!(meta.get("unix_secs").and_then(Value::as_u64).is_some());
+        assert!(meta.get("timestamp").and_then(Value::as_str).is_some());
+        assert!(meta.get("rustc").and_then(Value::as_str).is_some());
+        assert!(meta.get("threads").and_then(Value::as_u64).unwrap_or(0) >= 1);
+        assert!(meta.get("trace").map(Value::is_null).unwrap_or(false));
+    }
+
+    #[test]
+    fn noted_trace_lands_in_meta() {
+        let mut r = Report::new("selftest_trace", &["a"]);
+        r.note_trace(Path::new("target/experiments/selftest.trace.jsonl"));
+        r.row(&[&1]);
+        let path = r.finish().expect("artifact written");
+        let value: Value = serde_json::from_str(&std::fs::read_to_string(path).unwrap()).unwrap();
+        assert_eq!(
+            value
+                .get("meta")
+                .and_then(|m| m.get("trace"))
+                .and_then(Value::as_str),
+            Some("target/experiments/selftest.trace.jsonl")
+        );
     }
 
     #[test]
@@ -107,5 +260,12 @@ mod tests {
     fn arity_checked() {
         let mut r = Report::new("x", &["a", "b"]);
         r.row(&[&1]);
+    }
+
+    #[test]
+    fn iso8601_matches_known_instants() {
+        assert_eq!(iso8601_utc(0), "1970-01-01T00:00:00Z");
+        assert_eq!(iso8601_utc(951_782_400), "2000-02-29T00:00:00Z");
+        assert_eq!(iso8601_utc(1_754_352_000), "2025-08-05T00:00:00Z");
     }
 }

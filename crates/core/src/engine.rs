@@ -14,6 +14,7 @@
 
 use crate::letter::Role;
 use crate::scenario::Scenario;
+use minobs_obs::{MessageStatus, NullRecorder, Recorder, RoundCounts, RoundTimer};
 
 /// A state machine for one of the two processes.
 ///
@@ -111,22 +112,74 @@ where
     P: TwoProcessProtocol,
     Q: TwoProcessProtocol<Msg = P::Msg>,
 {
+    run_two_process_with_recorder(white, black, scenario, max_rounds, &mut NullRecorder)
+}
+
+/// [`run_two_process`] with structured observations delivered to
+/// `recorder`. White is node 0, Black node 1 in the emitted events.
+pub fn run_two_process_with_recorder<P, Q, R>(
+    white: &mut P,
+    black: &mut Q,
+    scenario: &Scenario,
+    max_rounds: usize,
+    recorder: &mut R,
+) -> Outcome
+where
+    P: TwoProcessProtocol,
+    Q: TwoProcessProtocol<Msg = P::Msg>,
+    R: Recorder + ?Sized,
+{
     assert_eq!(white.role(), Role::White, "first protocol must play White");
     assert_eq!(black.role(), Role::Black, "second protocol must play Black");
+
+    const WHITE: usize = 0;
+    const BLACK: usize = 1;
 
     let mut rounds = 0usize;
     let mut messages_sent = 0usize;
     let mut messages_delivered = 0usize;
+    let run_timer = RoundTimer::start_if(recorder.enabled());
+    recorder.on_run_start("two_process", 2, 1);
 
     while rounds < max_rounds && !(white.halted() && black.halted()) {
+        let observing = recorder.enabled();
+        let timer = RoundTimer::start_if(observing);
+        let decided_before = (white.decision().is_some(), black.decision().is_some());
+
         let letter = scenario.letter_at(rounds);
         let from_white = if white.halted() { None } else { white.outgoing() };
         let from_black = if black.halted() { None } else { black.outgoing() };
-        messages_sent += from_white.is_some() as usize + from_black.is_some() as usize;
+        let white_sent = from_white.is_some();
+        let black_sent = from_black.is_some();
+        let mut counts = RoundCounts {
+            sent: white_sent as usize + black_sent as usize,
+            ..RoundCounts::default()
+        };
 
         let to_black = from_white.filter(|_| letter.delivers_from(Role::White));
         let to_white = from_black.filter(|_| letter.delivers_from(Role::Black));
-        messages_delivered += to_black.is_some() as usize + to_white.is_some() as usize;
+        counts.delivered = to_black.is_some() as usize + to_white.is_some() as usize;
+        counts.dropped = counts.sent - counts.delivered;
+        if observing {
+            if white_sent {
+                let status = if to_black.is_some() {
+                    MessageStatus::Delivered
+                } else {
+                    MessageStatus::Dropped
+                };
+                recorder.on_message(rounds, WHITE, BLACK, status);
+            }
+            if black_sent {
+                let status = if to_white.is_some() {
+                    MessageStatus::Delivered
+                } else {
+                    MessageStatus::Dropped
+                };
+                recorder.on_message(rounds, BLACK, WHITE, status);
+            }
+        }
+        messages_sent += counts.sent;
+        messages_delivered += counts.delivered;
 
         if !white.halted() {
             white.advance(to_white);
@@ -134,6 +187,19 @@ where
         if !black.halted() {
             black.advance(to_black);
         }
+        if observing {
+            if !decided_before.0 {
+                if let Some(value) = white.decision() {
+                    recorder.on_decision(rounds, WHITE, value as u64);
+                }
+            }
+            if !decided_before.1 {
+                if let Some(value) = black.decision() {
+                    recorder.on_decision(rounds, BLACK, value as u64);
+                }
+            }
+        }
+        recorder.on_round_end(rounds, counts, timer.elapsed_nanos());
         rounds += 1;
     }
 
@@ -144,6 +210,16 @@ where
         black.input(),
         white_decision,
         black_decision,
+    );
+    recorder.on_run_end(
+        rounds,
+        RoundCounts {
+            sent: messages_sent,
+            delivered: messages_delivered,
+            dropped: messages_sent - messages_delivered,
+            misaddressed: 0,
+        },
+        run_timer.elapsed_nanos(),
     );
 
     Outcome {

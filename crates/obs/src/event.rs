@@ -1,0 +1,362 @@
+//! The structured trace event model and its JSON mapping.
+//!
+//! Every event serialises to one JSON object carrying at least the three
+//! stable fields `schema`, `event`, and `round`, so downstream tooling can
+//! filter a mixed JSONL stream without knowing every variant. The schema
+//! string is versioned ([`SCHEMA`]); additive changes keep the version,
+//! field renames or removals bump it.
+
+use serde_json::{Map, Value};
+
+/// Version tag stamped on every emitted event line.
+pub const SCHEMA: &str = "minobs/trace/v1";
+
+/// What happened to a single message in a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MessageStatus {
+    /// Routed to its addressee this round.
+    Delivered,
+    /// Selected by the adversary's omission set.
+    Dropped,
+    /// Addressed to a non-neighbor and discarded before routing.
+    Misaddressed,
+}
+
+impl MessageStatus {
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MessageStatus::Delivered => "delivered",
+            MessageStatus::Dropped => "dropped",
+            MessageStatus::Misaddressed => "misaddressed",
+        }
+    }
+}
+
+/// Per-round (or whole-run) message accounting.
+///
+/// The engines count a send as `sent` only when it is addressed to a live
+/// neighbor; misaddressed sends are tallied separately and never enter
+/// `sent`. The conservation invariant is therefore
+/// `sent == delivered + dropped`, checked by the engines each round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundCounts {
+    /// Valid messages handed to the network.
+    pub sent: usize,
+    /// Messages routed to their addressee.
+    pub delivered: usize,
+    /// Messages removed by the adversary.
+    pub dropped: usize,
+    /// Messages to non-neighbors, discarded before routing.
+    pub misaddressed: usize,
+}
+
+impl RoundCounts {
+    /// Accumulates another round's counts into a running total.
+    pub fn absorb(&mut self, other: RoundCounts) {
+        self.sent += other.sent;
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.misaddressed += other.misaddressed;
+    }
+}
+
+/// One structured observation from an engine or the model checker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A run began. `round` is always 0.
+    RunStart {
+        /// Which execution surface: `"two_process"`, `"network"`,
+        /// `"network_parallel"`, `"checker"`, or `"checker_parallel"`.
+        engine: &'static str,
+        /// Number of participating processes (2 for the two-process engine).
+        nodes: usize,
+        /// Worker threads (1 for the serial engines).
+        threads: usize,
+    },
+    /// A single message's fate within a round.
+    Message {
+        /// Round the message was sent in (0-based).
+        round: usize,
+        /// Sender node id.
+        from: usize,
+        /// Addressee node id.
+        to: usize,
+        /// Delivered, dropped, or misaddressed.
+        status: MessageStatus,
+    },
+    /// A node committed to a decision this round.
+    Decision {
+        /// Round the decision became visible (0-based).
+        round: usize,
+        /// Deciding node id.
+        node: usize,
+        /// The decided value.
+        value: u64,
+    },
+    /// A round completed, with its message accounting.
+    RoundEnd {
+        /// The completed round (0-based).
+        round: usize,
+        /// Message accounting for exactly this round.
+        counts: RoundCounts,
+        /// Wall-clock nanoseconds the round took (0 when timing is off).
+        nanos: u64,
+    },
+    /// A named timed section inside a run.
+    Span {
+        /// Round the span is attributed to.
+        round: usize,
+        /// Section name, e.g. `"adversary_select"`.
+        name: String,
+        /// Wall-clock nanoseconds.
+        nanos: u64,
+    },
+    /// One level-synchronous frontier step of the bounded model checker.
+    CheckerRound {
+        /// Prefix length just explored (1-based, matches horizon depth).
+        round: usize,
+        /// Execution states in the frontier after this step.
+        frontier: usize,
+        /// Total interned views in the arena so far.
+        views: usize,
+        /// Wall-clock nanoseconds for this step (0 when timing is off).
+        nanos: u64,
+    },
+    /// A full horizon check finished (one `k` of `first_solvable_horizon`).
+    Horizon {
+        /// The horizon depth checked.
+        horizon: usize,
+        /// Whether the task is solvable within that horizon.
+        solvable: bool,
+        /// Wall-clock nanoseconds for the whole check (0 when timing is off).
+        nanos: u64,
+    },
+    /// A run finished, with totals over all rounds.
+    RunEnd {
+        /// Rounds executed.
+        rounds: usize,
+        /// Whole-run message accounting.
+        totals: RoundCounts,
+        /// Wall-clock nanoseconds for the run (0 when timing is off).
+        nanos: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable wire name of the variant.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::RunStart { .. } => "run_start",
+            TraceEvent::Message { .. } => "message",
+            TraceEvent::Decision { .. } => "decision",
+            TraceEvent::RoundEnd { .. } => "round_end",
+            TraceEvent::Span { .. } => "span",
+            TraceEvent::CheckerRound { .. } => "checker_round",
+            TraceEvent::Horizon { .. } => "horizon",
+            TraceEvent::RunEnd { .. } => "run_end",
+        }
+    }
+
+    /// The round the event is attributed to (`horizon` for horizon events,
+    /// total `rounds` for run ends).
+    pub fn round(&self) -> usize {
+        match *self {
+            TraceEvent::RunStart { .. } => 0,
+            TraceEvent::Message { round, .. }
+            | TraceEvent::Decision { round, .. }
+            | TraceEvent::RoundEnd { round, .. }
+            | TraceEvent::Span { round, .. }
+            | TraceEvent::CheckerRound { round, .. } => round,
+            TraceEvent::Horizon { horizon, .. } => horizon,
+            TraceEvent::RunEnd { rounds, .. } => rounds,
+        }
+    }
+
+    /// Serialises to the versioned JSON object for one JSONL line.
+    ///
+    /// Every object carries `schema`, `event`, and `round`; the remaining
+    /// fields are variant-specific.
+    pub fn to_json(&self) -> Value {
+        let mut map = Map::new();
+        map.insert("schema".to_string(), Value::from(SCHEMA));
+        map.insert("event".to_string(), Value::from(self.kind()));
+        map.insert("round".to_string(), Value::from(self.round() as u64));
+        match self {
+            TraceEvent::RunStart {
+                engine,
+                nodes,
+                threads,
+            } => {
+                map.insert("engine".to_string(), Value::from(*engine));
+                map.insert("nodes".to_string(), Value::from(*nodes as u64));
+                map.insert("threads".to_string(), Value::from(*threads as u64));
+            }
+            TraceEvent::Message {
+                from, to, status, ..
+            } => {
+                map.insert("from".to_string(), Value::from(*from as u64));
+                map.insert("to".to_string(), Value::from(*to as u64));
+                map.insert("status".to_string(), Value::from(status.as_str()));
+            }
+            TraceEvent::Decision { node, value, .. } => {
+                map.insert("node".to_string(), Value::from(*node as u64));
+                map.insert("value".to_string(), Value::from(*value));
+            }
+            TraceEvent::RoundEnd { counts, nanos, .. } => {
+                insert_counts(&mut map, *counts);
+                map.insert("nanos".to_string(), Value::from(*nanos));
+            }
+            TraceEvent::Span { name, nanos, .. } => {
+                map.insert("name".to_string(), Value::from(name.as_str()));
+                map.insert("nanos".to_string(), Value::from(*nanos));
+            }
+            TraceEvent::CheckerRound {
+                frontier,
+                views,
+                nanos,
+                ..
+            } => {
+                map.insert("frontier".to_string(), Value::from(*frontier as u64));
+                map.insert("views".to_string(), Value::from(*views as u64));
+                map.insert("nanos".to_string(), Value::from(*nanos));
+            }
+            TraceEvent::Horizon {
+                solvable, nanos, ..
+            } => {
+                map.insert("solvable".to_string(), Value::from(*solvable));
+                map.insert("nanos".to_string(), Value::from(*nanos));
+            }
+            TraceEvent::RunEnd { totals, nanos, .. } => {
+                insert_counts(&mut map, *totals);
+                map.insert("nanos".to_string(), Value::from(*nanos));
+            }
+        }
+        Value::Object(map)
+    }
+}
+
+fn insert_counts(map: &mut Map, counts: RoundCounts) {
+    map.insert("sent".to_string(), Value::from(counts.sent as u64));
+    map.insert("delivered".to_string(), Value::from(counts.delivered as u64));
+    map.insert("dropped".to_string(), Value::from(counts.dropped as u64));
+    map.insert(
+        "misaddressed".to_string(),
+        Value::from(counts.misaddressed as u64),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_event_carries_the_stable_fields() {
+        let events = [
+            TraceEvent::RunStart {
+                engine: "network",
+                nodes: 4,
+                threads: 1,
+            },
+            TraceEvent::Message {
+                round: 2,
+                from: 0,
+                to: 1,
+                status: MessageStatus::Dropped,
+            },
+            TraceEvent::Decision {
+                round: 3,
+                node: 1,
+                value: 7,
+            },
+            TraceEvent::RoundEnd {
+                round: 2,
+                counts: RoundCounts {
+                    sent: 4,
+                    delivered: 3,
+                    dropped: 1,
+                    misaddressed: 0,
+                },
+                nanos: 10,
+            },
+            TraceEvent::Span {
+                round: 1,
+                name: "adversary_select".to_string(),
+                nanos: 5,
+            },
+            TraceEvent::CheckerRound {
+                round: 1,
+                frontier: 9,
+                views: 30,
+                nanos: 2,
+            },
+            TraceEvent::Horizon {
+                horizon: 3,
+                solvable: true,
+                nanos: 100,
+            },
+            TraceEvent::RunEnd {
+                rounds: 4,
+                totals: RoundCounts::default(),
+                nanos: 99,
+            },
+        ];
+        for event in &events {
+            let json = event.to_json();
+            assert_eq!(json.get("schema").and_then(Value::as_str), Some(SCHEMA));
+            assert_eq!(
+                json.get("event").and_then(Value::as_str),
+                Some(event.kind())
+            );
+            assert_eq!(
+                json.get("round").and_then(Value::as_u64),
+                Some(event.round() as u64)
+            );
+        }
+    }
+
+    #[test]
+    fn round_end_round_trips_through_serde_json() {
+        let event = TraceEvent::RoundEnd {
+            round: 5,
+            counts: RoundCounts {
+                sent: 10,
+                delivered: 8,
+                dropped: 2,
+                misaddressed: 1,
+            },
+            nanos: 1234,
+        };
+        let line = serde_json::to_string(&event.to_json()).unwrap();
+        let back: Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.get("sent").and_then(Value::as_u64), Some(10));
+        assert_eq!(back.get("dropped").and_then(Value::as_u64), Some(2));
+        assert_eq!(back.get("event").and_then(Value::as_str), Some("round_end"));
+    }
+
+    #[test]
+    fn counts_absorb_adds_fieldwise() {
+        let mut total = RoundCounts::default();
+        total.absorb(RoundCounts {
+            sent: 3,
+            delivered: 2,
+            dropped: 1,
+            misaddressed: 4,
+        });
+        total.absorb(RoundCounts {
+            sent: 1,
+            delivered: 1,
+            dropped: 0,
+            misaddressed: 0,
+        });
+        assert_eq!(
+            total,
+            RoundCounts {
+                sent: 4,
+                delivered: 3,
+                dropped: 1,
+                misaddressed: 4,
+            }
+        );
+    }
+}

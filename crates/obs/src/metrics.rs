@@ -1,0 +1,423 @@
+//! Atomic metrics: counters, gauges, and fixed-bucket histograms.
+//!
+//! All instruments are lock-free (`AtomicU64` with relaxed ordering —
+//! metrics need totals, not synchronisation). The registry itself uses a
+//! mutex only on the cold get-or-create path; engines resolve their
+//! instruments once up front and update handles on the hot path.
+
+use serde_json::{Map, Value};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::event::{MessageStatus, RoundCounts};
+use crate::recorder::Recorder;
+
+/// A monotonically increasing count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can be set, or ratcheted to a maximum.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if `v` is larger.
+    #[inline]
+    pub fn ratchet_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram over `u64` observations.
+///
+/// Buckets are cumulative-style upper bounds: an observation lands in the
+/// first bucket whose bound is `>= value`, or in the implicit overflow
+/// bucket. Bounds are fixed at construction — no allocation or locking on
+/// `observe`.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram with the given ascending upper bounds (plus an implicit
+    /// overflow bucket).
+    pub fn new(bounds: &[u64]) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Upper bounds suited to round/horizon latencies, 1µs .. 10s.
+    pub fn latency_bounds() -> Vec<u64> {
+        // Powers of ten in nanoseconds with 1-3 subdivisions.
+        let mut bounds = Vec::new();
+        let mut decade: u64 = 1_000;
+        while decade <= 10_000_000_000 {
+            bounds.push(decade);
+            bounds.push(decade.saturating_mul(3));
+            decade = decade.saturating_mul(10);
+        }
+        bounds
+    }
+
+    /// Upper bounds suited to frontier/queue sizes, 1 .. 10^7.
+    pub fn size_bounds() -> Vec<u64> {
+        let mut bounds = Vec::new();
+        let mut decade: u64 = 1;
+        while decade <= 10_000_000 {
+            bounds.push(decade);
+            bounds.push(decade * 3);
+            decade *= 10;
+        }
+        bounds
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        let index = self.bounds.partition_point(|&bound| bound < value);
+        self.buckets[index].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts, overflow bucket last.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    fn snapshot(&self) -> Value {
+        let mut map = Map::new();
+        map.insert("count".to_string(), Value::from(self.count()));
+        map.insert("sum".to_string(), Value::from(self.sum()));
+        map.insert(
+            "bounds".to_string(),
+            Value::from(self.bounds.clone()),
+        );
+        map.insert("buckets".to_string(), Value::from(self.bucket_counts()));
+        Value::Object(map)
+    }
+}
+
+/// A named registry of counters, gauges, and histograms.
+///
+/// `counter`/`gauge`/`histogram` get-or-create and hand back `Arc`
+/// handles; updating a handle never touches the registry lock.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut counters = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        counters
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Counter::default()))
+            .clone()
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut gauges = self.gauges.lock().unwrap_or_else(|e| e.into_inner());
+        gauges
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Gauge::default()))
+            .clone()
+    }
+
+    /// The histogram named `name`, created on first use with `bounds`.
+    /// Later calls return the existing instrument regardless of `bounds`.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        let mut histograms = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+        histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new(bounds)))
+            .clone()
+    }
+
+    /// A point-in-time JSON snapshot of every instrument, keyed by name.
+    pub fn snapshot(&self) -> Value {
+        let mut root = Map::new();
+        let mut counters = Map::new();
+        for (name, counter) in self.counters.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+            counters.insert(name.clone(), Value::from(counter.get()));
+        }
+        let mut gauges = Map::new();
+        for (name, gauge) in self.gauges.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+            gauges.insert(name.clone(), Value::from(gauge.get()));
+        }
+        let mut histograms = Map::new();
+        for (name, histogram) in self
+            .histograms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+        {
+            histograms.insert(name.clone(), histogram.snapshot());
+        }
+        root.insert("counters".to_string(), Value::Object(counters));
+        root.insert("gauges".to_string(), Value::Object(gauges));
+        root.insert("histograms".to_string(), Value::Object(histograms));
+        Value::Object(root)
+    }
+}
+
+/// A [`Recorder`] that folds the event stream into a [`MetricsRegistry`].
+///
+/// Instrument handles are resolved once at construction; the hooks only
+/// touch atomics. Metric names are stable:
+///
+/// | name | kind | fed by |
+/// |------|------|--------|
+/// | `engine.rounds` | counter | every `round_end` |
+/// | `engine.messages_{sent,delivered,dropped,misaddressed}` | counter | `round_end` counts |
+/// | `engine.decisions` | counter | every `decision` |
+/// | `engine.round_latency_ns` | histogram | `round_end` nanos (when timed) |
+/// | `engine.runs` | counter | every `run_end` |
+/// | `checker.frontier_size` | histogram | every `checker_round` |
+/// | `checker.views` | gauge (max) | every `checker_round` |
+/// | `checker.round_latency_ns` | histogram | `checker_round` nanos (when timed) |
+/// | `checker.horizons` | counter | every `horizon` |
+/// | `checker.horizon_latency_ns` | histogram | `horizon` nanos (when timed) |
+pub struct MetricsRecorder {
+    registry: Arc<MetricsRegistry>,
+    rounds: Arc<Counter>,
+    sent: Arc<Counter>,
+    delivered: Arc<Counter>,
+    dropped: Arc<Counter>,
+    misaddressed: Arc<Counter>,
+    decisions: Arc<Counter>,
+    runs: Arc<Counter>,
+    round_latency: Arc<Histogram>,
+    frontier_size: Arc<Histogram>,
+    views: Arc<Gauge>,
+    checker_round_latency: Arc<Histogram>,
+    horizons: Arc<Counter>,
+    horizon_latency: Arc<Histogram>,
+}
+
+impl MetricsRecorder {
+    /// Wires a recorder onto `registry`.
+    pub fn new(registry: Arc<MetricsRegistry>) -> MetricsRecorder {
+        let latency = Histogram::latency_bounds();
+        let sizes = Histogram::size_bounds();
+        MetricsRecorder {
+            rounds: registry.counter("engine.rounds"),
+            sent: registry.counter("engine.messages_sent"),
+            delivered: registry.counter("engine.messages_delivered"),
+            dropped: registry.counter("engine.messages_dropped"),
+            misaddressed: registry.counter("engine.messages_misaddressed"),
+            decisions: registry.counter("engine.decisions"),
+            runs: registry.counter("engine.runs"),
+            round_latency: registry.histogram("engine.round_latency_ns", &latency),
+            frontier_size: registry.histogram("checker.frontier_size", &sizes),
+            views: registry.gauge("checker.views"),
+            checker_round_latency: registry.histogram("checker.round_latency_ns", &latency),
+            horizons: registry.counter("checker.horizons"),
+            horizon_latency: registry.histogram("checker.horizon_latency_ns", &latency),
+            registry,
+        }
+    }
+
+    /// The backing registry.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+}
+
+impl Recorder for MetricsRecorder {
+    fn on_message(&mut self, _round: usize, _from: usize, _to: usize, _status: MessageStatus) {
+        // Message totals come from the round_end counts; per-message events
+        // would double-count them.
+    }
+
+    fn on_decision(&mut self, _round: usize, _node: usize, _value: u64) {
+        self.decisions.inc();
+    }
+
+    fn on_round_end(&mut self, _round: usize, counts: RoundCounts, nanos: u64) {
+        self.rounds.inc();
+        self.sent.add(counts.sent as u64);
+        self.delivered.add(counts.delivered as u64);
+        self.dropped.add(counts.dropped as u64);
+        self.misaddressed.add(counts.misaddressed as u64);
+        if nanos > 0 {
+            self.round_latency.observe(nanos);
+        }
+    }
+
+    fn on_checker_round(&mut self, _round: usize, frontier: usize, views: usize, nanos: u64) {
+        self.frontier_size.observe(frontier as u64);
+        self.views.ratchet_max(views as u64);
+        if nanos > 0 {
+            self.checker_round_latency.observe(nanos);
+        }
+    }
+
+    fn on_horizon(&mut self, _horizon: usize, _solvable: bool, nanos: u64) {
+        self.horizons.inc();
+        if nanos > 0 {
+            self.horizon_latency.observe(nanos);
+        }
+    }
+
+    fn on_run_end(&mut self, _rounds: usize, _totals: RoundCounts, _nanos: u64) {
+        self.runs.inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let registry = MetricsRegistry::new();
+        let c = registry.counter("x");
+        c.inc();
+        c.add(4);
+        assert_eq!(registry.counter("x").get(), 5);
+        let g = registry.gauge("y");
+        g.set(3);
+        g.ratchet_max(10);
+        g.ratchet_max(2);
+        assert_eq!(g.get(), 10);
+    }
+
+    #[test]
+    fn histogram_buckets_by_upper_bound() {
+        let h = Histogram::new(&[10, 100]);
+        h.observe(5); // -> bucket 0 (<= 10)
+        h.observe(10); // -> bucket 0 (bound >= value)
+        h.observe(50); // -> bucket 1
+        h.observe(1000); // -> overflow
+        assert_eq!(h.bucket_counts(), vec![2, 1, 1]);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1065);
+    }
+
+    #[test]
+    fn metrics_recorder_folds_round_counts() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut recorder = MetricsRecorder::new(Arc::clone(&registry));
+        recorder.on_round_end(
+            0,
+            RoundCounts {
+                sent: 6,
+                delivered: 5,
+                dropped: 1,
+                misaddressed: 2,
+            },
+            1_500,
+        );
+        recorder.on_round_end(
+            1,
+            RoundCounts {
+                sent: 2,
+                delivered: 2,
+                dropped: 0,
+                misaddressed: 0,
+            },
+            0,
+        );
+        recorder.on_decision(1, 0, 1);
+        recorder.on_run_end(2, RoundCounts::default(), 0);
+        assert_eq!(registry.counter("engine.rounds").get(), 2);
+        assert_eq!(registry.counter("engine.messages_sent").get(), 8);
+        assert_eq!(registry.counter("engine.messages_dropped").get(), 1);
+        assert_eq!(registry.counter("engine.decisions").get(), 1);
+        assert_eq!(registry.counter("engine.runs").get(), 1);
+        // Untimed rounds (nanos == 0) stay out of the latency histogram.
+        assert_eq!(
+            registry
+                .histogram("engine.round_latency_ns", &[])
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn snapshot_lists_every_instrument() {
+        let registry = MetricsRegistry::new();
+        registry.counter("a").inc();
+        registry.gauge("b").set(2);
+        registry.histogram("c", &[1]).observe(1);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.get("counters").and_then(|v| v.get("a")).and_then(Value::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            snap.get("gauges").and_then(|v| v.get("b")).and_then(Value::as_u64),
+            Some(2)
+        );
+        assert_eq!(
+            snap.get("histograms")
+                .and_then(|v| v.get("c"))
+                .and_then(|v| v.get("count"))
+                .and_then(Value::as_u64),
+            Some(1)
+        );
+    }
+}

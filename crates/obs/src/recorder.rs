@@ -1,0 +1,259 @@
+//! The [`Recorder`] trait and its built-in implementations.
+//!
+//! Engines thread a `&mut R where R: Recorder + ?Sized` through their run
+//! loops and call the hook matching each observation. Every hook has a
+//! no-op default body, so [`NullRecorder`] — the default on every public
+//! entry point — monomorphises to nothing and the uninstrumented hot path
+//! stays byte-for-byte as fast as before instrumentation (proven by the
+//! `bench_obs` criterion benchmark).
+//!
+//! Hooks that would require extra per-round work to *feed* (scanning for
+//! fresh decisions, timing rounds, buffering per-message fates) are gated
+//! by [`Recorder::enabled`], which the null recorder answers `false` —
+//! engines skip building those observations entirely.
+
+use crate::event::{MessageStatus, RoundCounts, TraceEvent};
+
+/// Receives structured observations from an engine or the model checker.
+///
+/// All hooks default to no-ops; implementors override the ones they care
+/// about. The event-level hooks mirror the [`TraceEvent`] variants
+/// one-to-one, and [`Recorder::record`] is the funnel every default hook
+/// forwards to — a sink that just wants the full stream (like
+/// [`crate::JsonlSink`]) only overrides `record`.
+pub trait Recorder {
+    /// Cheap global switch. When `false`, engines skip constructing
+    /// observations altogether (no timing syscalls, no decision scans).
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Funnel receiving every event the default hooks forward.
+    #[inline]
+    fn record(&mut self, event: TraceEvent) {
+        let _ = event;
+    }
+
+    /// A run began.
+    #[inline]
+    fn on_run_start(&mut self, engine: &'static str, nodes: usize, threads: usize) {
+        self.record(TraceEvent::RunStart {
+            engine,
+            nodes,
+            threads,
+        });
+    }
+
+    /// A message was delivered, dropped, or misaddressed in `round`.
+    #[inline]
+    fn on_message(&mut self, round: usize, from: usize, to: usize, status: MessageStatus) {
+        self.record(TraceEvent::Message {
+            round,
+            from,
+            to,
+            status,
+        });
+    }
+
+    /// A node committed to `value` in `round`.
+    #[inline]
+    fn on_decision(&mut self, round: usize, node: usize, value: u64) {
+        self.record(TraceEvent::Decision { round, node, value });
+    }
+
+    /// A round finished with the given accounting.
+    #[inline]
+    fn on_round_end(&mut self, round: usize, counts: RoundCounts, nanos: u64) {
+        self.record(TraceEvent::RoundEnd {
+            round,
+            counts,
+            nanos,
+        });
+    }
+
+    /// A named timed section completed.
+    #[inline]
+    fn on_span(&mut self, round: usize, name: &str, nanos: u64) {
+        self.record(TraceEvent::Span {
+            round,
+            name: name.to_string(),
+            nanos,
+        });
+    }
+
+    /// The model checker finished one frontier step.
+    #[inline]
+    fn on_checker_round(&mut self, round: usize, frontier: usize, views: usize, nanos: u64) {
+        self.record(TraceEvent::CheckerRound {
+            round,
+            frontier,
+            views,
+            nanos,
+        });
+    }
+
+    /// A whole horizon check finished.
+    #[inline]
+    fn on_horizon(&mut self, horizon: usize, solvable: bool, nanos: u64) {
+        self.record(TraceEvent::Horizon {
+            horizon,
+            solvable,
+            nanos,
+        });
+    }
+
+    /// A run finished with totals over all rounds.
+    #[inline]
+    fn on_run_end(&mut self, rounds: usize, totals: RoundCounts, nanos: u64) {
+        self.record(TraceEvent::RunEnd {
+            rounds,
+            totals,
+            nanos,
+        });
+    }
+}
+
+/// The do-nothing recorder: the default on every public entry point.
+///
+/// `enabled()` is `false`, so engines skip observation construction, and
+/// every hook body is an inlined empty function — the optimiser removes
+/// the instrumentation entirely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn record(&mut self, _event: TraceEvent) {}
+}
+
+/// Buffers every event in memory, in arrival order.
+///
+/// Used by equivalence tests to compare the serial and parallel engines'
+/// event streams, and handy for ad-hoc assertions about instrumented code.
+#[derive(Debug, Default)]
+pub struct MemoryRecorder {
+    events: Vec<TraceEvent>,
+}
+
+impl MemoryRecorder {
+    /// An empty buffer.
+    pub fn new() -> MemoryRecorder {
+        MemoryRecorder::default()
+    }
+
+    /// The buffered events, in arrival order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Consumes the recorder, yielding the buffer.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+
+    /// Events in a stream-order-independent form: message and decision
+    /// events sorted by `(round, from/node, to)`, other events left in
+    /// relative order. Two engines that make the same observations in a
+    /// different per-round order canonicalise to equal streams.
+    pub fn canonical_events(&self) -> Vec<TraceEvent> {
+        let mut events = self.events.clone();
+        events.sort_by_key(|event| match *event {
+            TraceEvent::Message {
+                round, from, to, ..
+            } => (round, 1, from, to),
+            TraceEvent::Decision { round, node, .. } => (round, 2, node, 0),
+            TraceEvent::RoundEnd { round, .. } => (round, 3, 0, 0),
+            TraceEvent::RunStart { .. } => (0, 0, 0, 0),
+            TraceEvent::Span { round, .. } => (round, 4, 0, 0),
+            TraceEvent::CheckerRound { round, .. } => (round, 5, 0, 0),
+            TraceEvent::Horizon { horizon, .. } => (horizon, 6, 0, 0),
+            TraceEvent::RunEnd { rounds, .. } => (rounds, 7, 0, 0),
+        });
+        events
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+}
+
+/// Forwards every event to two recorders, e.g. a [`crate::JsonlSink`] plus
+/// a [`crate::MetricsRecorder`].
+#[derive(Debug)]
+pub struct TeeRecorder<A, B> {
+    first: A,
+    second: B,
+}
+
+impl<A: Recorder, B: Recorder> TeeRecorder<A, B> {
+    /// Wraps two recorders.
+    pub fn new(first: A, second: B) -> TeeRecorder<A, B> {
+        TeeRecorder { first, second }
+    }
+
+    /// The wrapped recorders.
+    pub fn into_inner(self) -> (A, B) {
+        (self.first, self.second)
+    }
+}
+
+impl<A: Recorder, B: Recorder> Recorder for TeeRecorder<A, B> {
+    fn enabled(&self) -> bool {
+        self.first.enabled() || self.second.enabled()
+    }
+
+    fn record(&mut self, event: TraceEvent) {
+        self.first.record(event.clone());
+        self.second.record(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_recorder_is_disabled() {
+        assert!(!NullRecorder.enabled());
+    }
+
+    #[test]
+    fn hooks_funnel_into_record() {
+        let mut memory = MemoryRecorder::new();
+        memory.on_run_start("network", 3, 1);
+        memory.on_message(0, 0, 1, MessageStatus::Delivered);
+        memory.on_decision(1, 2, 9);
+        memory.on_run_end(2, RoundCounts::default(), 0);
+        let kinds: Vec<&str> = memory.events().iter().map(TraceEvent::kind).collect();
+        assert_eq!(kinds, ["run_start", "message", "decision", "run_end"]);
+    }
+
+    #[test]
+    fn canonical_order_ignores_arrival_order() {
+        let mut a = MemoryRecorder::new();
+        a.on_message(0, 1, 2, MessageStatus::Delivered);
+        a.on_message(0, 0, 1, MessageStatus::Dropped);
+        let mut b = MemoryRecorder::new();
+        b.on_message(0, 0, 1, MessageStatus::Dropped);
+        b.on_message(0, 1, 2, MessageStatus::Delivered);
+        assert_ne!(a.events(), b.events());
+        assert_eq!(a.canonical_events(), b.canonical_events());
+    }
+
+    #[test]
+    fn tee_duplicates_the_stream() {
+        let mut tee = TeeRecorder::new(MemoryRecorder::new(), MemoryRecorder::new());
+        tee.on_decision(4, 0, 1);
+        let (first, second) = tee.into_inner();
+        assert_eq!(first.events(), second.events());
+        assert_eq!(first.events().len(), 1);
+    }
+}

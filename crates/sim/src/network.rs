@@ -9,6 +9,7 @@
 use crate::adversary::Adversary;
 use crate::trace::RunStats;
 use minobs_graphs::{DirectedEdge, Graph};
+use minobs_obs::{MessageStatus, NullRecorder, Recorder, RoundCounts, RoundTimer};
 use std::collections::BTreeSet;
 
 /// A per-node synchronous state machine.
@@ -121,6 +122,11 @@ impl<'g, P: NodeProtocol> SyncNetwork<'g, P> {
         self.round
     }
 
+    /// Execution statistics accumulated so far.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
     /// Read access to the nodes.
     pub fn nodes(&self) -> &[P] {
         &self.nodes
@@ -134,6 +140,25 @@ impl<'g, P: NodeProtocol> SyncNetwork<'g, P> {
     /// Executes one round under the adversary. Returns the omission set
     /// actually applied.
     pub fn step(&mut self, adversary: &mut dyn Adversary) -> Vec<DirectedEdge> {
+        self.step_with_recorder(adversary, &mut NullRecorder)
+    }
+
+    /// [`SyncNetwork::step`] with structured observations delivered to
+    /// `recorder`. Per-message events and round timing are built only
+    /// when `recorder.enabled()`.
+    pub fn step_with_recorder<R: Recorder + ?Sized>(
+        &mut self,
+        adversary: &mut dyn Adversary,
+        recorder: &mut R,
+    ) -> Vec<DirectedEdge> {
+        let observing = recorder.enabled();
+        let timer = RoundTimer::start_if(observing);
+        let decided_before: Vec<bool> = if observing {
+            self.nodes.iter().map(|n| n.decision().is_some()).collect()
+        } else {
+            Vec::new()
+        };
+        let mut counts = RoundCounts::default();
         // 1. Collect sends from live nodes, validating targets.
         let mut pending: Vec<(DirectedEdge, P::Msg)> = Vec::new();
         for (id, node) in self.nodes.iter().enumerate() {
@@ -143,9 +168,12 @@ impl<'g, P: NodeProtocol> SyncNetwork<'g, P> {
             for (to, msg) in node.send(self.round) {
                 if self.graph.has_edge(id, to) {
                     pending.push((DirectedEdge::new(id, to), msg));
-                    self.stats.messages_sent += 1;
+                    counts.sent += 1;
                 } else {
-                    self.stats.misaddressed += 1;
+                    counts.misaddressed += 1;
+                    if observing {
+                        recorder.on_message(self.round, id, to, MessageStatus::Misaddressed);
+                    }
                 }
             }
         }
@@ -158,33 +186,83 @@ impl<'g, P: NodeProtocol> SyncNetwork<'g, P> {
             .map(|_| Vec::new())
             .collect();
         for (edge, msg) in pending {
-            if drops.contains(&edge) {
-                self.stats.messages_dropped += 1;
+            let status = if drops.contains(&edge) {
+                counts.dropped += 1;
+                MessageStatus::Dropped
             } else {
                 inboxes[edge.to].push((edge.from, msg));
-                self.stats.messages_delivered += 1;
+                counts.delivered += 1;
+                MessageStatus::Delivered
+            };
+            if observing {
+                recorder.on_message(self.round, edge.from, edge.to, status);
             }
         }
         self.stats.max_drops_per_round = self.stats.max_drops_per_round.max(drops.len());
+        // Message conservation: every valid send this round is accounted
+        // for exactly once. (Misaddressed sends never enter `sent`.)
+        debug_assert_eq!(
+            counts.sent,
+            counts.delivered + counts.dropped,
+            "round {}: sent messages must split into delivered + dropped",
+            self.round
+        );
+        self.stats.messages_sent += counts.sent;
+        self.stats.messages_delivered += counts.delivered;
+        self.stats.messages_dropped += counts.dropped;
+        self.stats.misaddressed += counts.misaddressed;
         // 4. Advance live nodes.
         for (id, node) in self.nodes.iter_mut().enumerate() {
             if !node.halted() {
                 node.advance(self.round, std::mem::take(&mut inboxes[id]));
             }
         }
+        if observing {
+            for (id, node) in self.nodes.iter().enumerate() {
+                if !decided_before[id] {
+                    if let Some(value) = node.decision() {
+                        recorder.on_decision(self.round, id, value);
+                    }
+                }
+            }
+        }
+        recorder.on_round_end(self.round, counts, timer.elapsed_nanos());
         self.round += 1;
         self.stats.rounds = self.round;
         drops_list
     }
 
     /// Runs until all nodes halt or the round budget is hit; audits.
-    pub fn run(mut self, adversary: &mut dyn Adversary, max_rounds: usize) -> NetOutcome {
+    pub fn run(self, adversary: &mut dyn Adversary, max_rounds: usize) -> NetOutcome {
+        self.run_with_recorder(adversary, max_rounds, &mut NullRecorder)
+    }
+
+    /// [`SyncNetwork::run`] with structured observations delivered to
+    /// `recorder`.
+    pub fn run_with_recorder<R: Recorder + ?Sized>(
+        mut self,
+        adversary: &mut dyn Adversary,
+        max_rounds: usize,
+        recorder: &mut R,
+    ) -> NetOutcome {
+        let timer = RoundTimer::start_if(recorder.enabled());
+        recorder.on_run_start("network", self.nodes.len(), 1);
         while self.round < max_rounds && !self.all_halted() {
-            self.step(adversary);
+            self.step_with_recorder(adversary, recorder);
         }
         let inputs: Vec<u64> = self.nodes.iter().map(|n| n.input()).collect();
         let decisions: Vec<Option<u64>> = self.nodes.iter().map(|n| n.decision()).collect();
         let verdict = audit_network(&inputs, &decisions);
+        recorder.on_run_end(
+            self.stats.rounds,
+            RoundCounts {
+                sent: self.stats.messages_sent,
+                delivered: self.stats.messages_delivered,
+                dropped: self.stats.messages_dropped,
+                misaddressed: self.stats.misaddressed,
+            },
+            timer.elapsed_nanos(),
+        );
         NetOutcome {
             decisions,
             verdict,
@@ -201,6 +279,17 @@ pub fn run_network<P: NodeProtocol>(
     max_rounds: usize,
 ) -> NetOutcome {
     SyncNetwork::new(graph, nodes).run(adversary, max_rounds)
+}
+
+/// [`run_network`] with structured observations delivered to `recorder`.
+pub fn run_network_with_recorder<P: NodeProtocol, R: Recorder + ?Sized>(
+    graph: &Graph,
+    nodes: Vec<P>,
+    adversary: &mut dyn Adversary,
+    max_rounds: usize,
+    recorder: &mut R,
+) -> NetOutcome {
+    SyncNetwork::new(graph, nodes).run_with_recorder(adversary, max_rounds, recorder)
 }
 
 /// Audits Termination, Agreement, and Validity over `n` nodes.

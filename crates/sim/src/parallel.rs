@@ -4,21 +4,35 @@
 //! round: every node's `send` depends only on its own state, and every
 //! node's `advance` consumes a disjoint inbox. This engine fans both
 //! phases out over `crossbeam` scoped threads working on disjoint node
-//! chunks — no locks on the hot path; a `parking_lot::Mutex` only guards
-//! the shared statistics accumulator.
+//! chunks — no locks on the hot path; each worker accumulates a private
+//! [`WorkerShard`] that the coordinator merges at the round barrier.
 //!
 //! The results are **bit-identical** to [`crate::network::SyncNetwork`]:
 //! pending messages are ordered by (sender, receiver) before the adversary
 //! sees them, so adversaries observe the same view in both engines
 //! (asserted by the equivalence tests, and benchmarked as the
-//! engine ablation in `minobs-bench`).
+//! engine ablation in `minobs-bench`). Trace events are emitted from the
+//! sequential phase only, so recorded streams canonicalise to the same
+//! stream the serial engine produces.
 
 use crate::adversary::Adversary;
 use crate::network::{audit_network, NetOutcome, NodeProtocol};
 use crate::trace::RunStats;
 use minobs_graphs::{DirectedEdge, Graph};
-use parking_lot::Mutex;
+use minobs_obs::{MessageStatus, NullRecorder, Recorder, RoundCounts, RoundTimer};
 use std::collections::BTreeSet;
+
+/// Per-worker metric shard: counts (and, when observing, buffered
+/// misaddressed sends) accumulated lock-free during phase 1 and merged by
+/// the coordinator at the round barrier.
+#[derive(Debug, Default)]
+struct WorkerShard {
+    sent: usize,
+    misaddressed: usize,
+    /// `(from, to)` of misaddressed sends, buffered for the recorder.
+    /// Only populated when a recorder is observing.
+    misaddressed_sends: Vec<(usize, usize)>,
+}
 
 /// Runs the network with node phases parallelized over `threads` workers.
 ///
@@ -30,7 +44,7 @@ use std::collections::BTreeSet;
 /// Panics when `threads == 0` or the node count mismatches the graph.
 pub fn run_network_parallel<P>(
     graph: &Graph,
-    mut nodes: Vec<P>,
+    nodes: Vec<P>,
     adversary: &mut dyn Adversary,
     max_rounds: usize,
     threads: usize,
@@ -38,6 +52,25 @@ pub fn run_network_parallel<P>(
 where
     P: NodeProtocol + Send + Sync,
     P::Msg: Send,
+{
+    run_network_parallel_with_recorder(graph, nodes, adversary, max_rounds, threads, &mut NullRecorder)
+}
+
+/// [`run_network_parallel`] with structured observations delivered to
+/// `recorder`. All events are emitted from the coordinator between the
+/// parallel phases — workers never touch the recorder.
+pub fn run_network_parallel_with_recorder<P, R>(
+    graph: &Graph,
+    mut nodes: Vec<P>,
+    adversary: &mut dyn Adversary,
+    max_rounds: usize,
+    threads: usize,
+    recorder: &mut R,
+) -> NetOutcome
+where
+    P: NodeProtocol + Send + Sync,
+    P::Msg: Send,
+    R: Recorder + ?Sized,
 {
     assert!(threads > 0, "need at least one worker");
     assert_eq!(
@@ -47,21 +80,30 @@ where
     );
     let n = nodes.len();
     let chunk = n.div_ceil(threads);
-    let stats = Mutex::new(RunStats::default());
+    let mut stats = RunStats::default();
     let mut round = 0usize;
+    let run_timer = RoundTimer::start_if(recorder.enabled());
+    recorder.on_run_start("network_parallel", n, threads);
 
     while round < max_rounds && !nodes.iter().all(|p| p.halted()) {
-        // ---- Phase 1 (parallel): collect sends per chunk. ----
-        let mut per_chunk: Vec<Vec<(DirectedEdge, P::Msg)>> = Vec::new();
+        let observing = recorder.enabled();
+        let timer = RoundTimer::start_if(observing);
+        let decided_before: Vec<bool> = if observing {
+            nodes.iter().map(|p| p.decision().is_some()).collect()
+        } else {
+            Vec::new()
+        };
+        let mut counts = RoundCounts::default();
+
+        // ---- Phase 1 (parallel): collect sends per chunk, lock-free. ----
+        let mut per_chunk: Vec<(Vec<(DirectedEdge, P::Msg)>, WorkerShard)> = Vec::new();
         crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (ci, chunk_nodes) in nodes.chunks(chunk).enumerate() {
-                let stats = &stats;
                 handles.push(scope.spawn(move |_| {
                     let base = ci * chunk;
                     let mut out: Vec<(DirectedEdge, P::Msg)> = Vec::new();
-                    let mut sent = 0usize;
-                    let mut misaddressed = 0usize;
+                    let mut shard = WorkerShard::default();
                     for (off, node) in chunk_nodes.iter().enumerate() {
                         if node.halted() {
                             continue;
@@ -70,23 +112,34 @@ where
                         for (to, msg) in node.send(round) {
                             if graph.has_edge(id, to) {
                                 out.push((DirectedEdge::new(id, to), msg));
-                                sent += 1;
+                                shard.sent += 1;
                             } else {
-                                misaddressed += 1;
+                                shard.misaddressed += 1;
+                                if observing {
+                                    shard.misaddressed_sends.push((id, to));
+                                }
                             }
                         }
                     }
-                    let mut s = stats.lock();
-                    s.messages_sent += sent;
-                    s.misaddressed += misaddressed;
-                    out
+                    (out, shard)
                 }));
             }
             per_chunk = handles.into_iter().map(|h| h.join().unwrap()).collect();
         })
         .expect("worker panicked");
-        let mut pending: Vec<(DirectedEdge, P::Msg)> =
-            per_chunk.into_iter().flatten().collect();
+
+        // ---- Round barrier: merge the worker shards. ----
+        let mut pending: Vec<(DirectedEdge, P::Msg)> = Vec::new();
+        for (out, shard) in per_chunk {
+            counts.sent += shard.sent;
+            counts.misaddressed += shard.misaddressed;
+            if observing {
+                for (from, to) in shard.misaddressed_sends {
+                    recorder.on_message(round, from, to, MessageStatus::Misaddressed);
+                }
+            }
+            pending.extend(out);
+        }
         // Deterministic adversary view, identical to the sequential engine
         // (which collects in node order).
         pending.sort_by_key(|(e, _)| (e.from, e.to));
@@ -98,18 +151,31 @@ where
             .into_iter()
             .collect();
         let mut inboxes: Vec<Vec<(usize, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
-        {
-            let mut s = stats.lock();
-            for (edge, msg) in pending {
-                if drops.contains(&edge) {
-                    s.messages_dropped += 1;
-                } else {
-                    inboxes[edge.to].push((edge.from, msg));
-                    s.messages_delivered += 1;
-                }
+        for (edge, msg) in pending {
+            let status = if drops.contains(&edge) {
+                counts.dropped += 1;
+                MessageStatus::Dropped
+            } else {
+                inboxes[edge.to].push((edge.from, msg));
+                counts.delivered += 1;
+                MessageStatus::Delivered
+            };
+            if observing {
+                recorder.on_message(round, edge.from, edge.to, status);
             }
-            s.max_drops_per_round = s.max_drops_per_round.max(drops.len());
         }
+        stats.max_drops_per_round = stats.max_drops_per_round.max(drops.len());
+        // Message conservation, mirroring the serial engine's per-round
+        // check: valid sends split exactly into delivered + dropped.
+        debug_assert_eq!(
+            counts.sent,
+            counts.delivered + counts.dropped,
+            "round {round}: sent messages must split into delivered + dropped"
+        );
+        stats.messages_sent += counts.sent;
+        stats.messages_delivered += counts.delivered;
+        stats.messages_dropped += counts.dropped;
+        stats.misaddressed += counts.misaddressed;
 
         // ---- Phase 3 (parallel): advance per chunk over disjoint slices. ----
         crossbeam::thread::scope(|scope| {
@@ -127,18 +193,37 @@ where
         })
         .expect("worker panicked");
 
+        if observing {
+            for (id, node) in nodes.iter().enumerate() {
+                if !decided_before[id] {
+                    if let Some(value) = node.decision() {
+                        recorder.on_decision(round, id, value);
+                    }
+                }
+            }
+        }
+        recorder.on_round_end(round, counts, timer.elapsed_nanos());
         round += 1;
     }
 
-    let mut final_stats = stats.into_inner();
-    final_stats.rounds = round;
+    stats.rounds = round;
     let inputs: Vec<u64> = nodes.iter().map(|p| p.input()).collect();
     let decisions: Vec<Option<u64>> = nodes.iter().map(|p| p.decision()).collect();
     let verdict = audit_network(&inputs, &decisions);
+    recorder.on_run_end(
+        stats.rounds,
+        RoundCounts {
+            sent: stats.messages_sent,
+            delivered: stats.messages_delivered,
+            dropped: stats.messages_dropped,
+            misaddressed: stats.misaddressed,
+        },
+        run_timer.elapsed_nanos(),
+    );
     NetOutcome {
         decisions,
         verdict,
-        stats: final_stats,
+        stats,
     }
 }
 

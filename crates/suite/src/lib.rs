@@ -17,6 +17,7 @@ pub use minobs_bigint as bigint;
 pub use minobs_core as core;
 pub use minobs_graphs as graphs;
 pub use minobs_net as net;
+pub use minobs_obs as obs;
 pub use minobs_omega as omega;
 pub use minobs_sim as sim;
 pub use minobs_synth as synth;

@@ -15,6 +15,7 @@ use crate::views::{ViewArena, ViewId};
 use minobs_core::letter::{Letter, Role};
 use minobs_core::scheme::OmissionScheme;
 use minobs_core::word::Word;
+use minobs_obs::{NullRecorder, Recorder, RoundTimer};
 
 /// One execution in a bivalency chain: the scenario prefix and the inputs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -108,7 +109,19 @@ struct ExecState {
 /// alphabet (use `GammaLetter`-only letters for `L ⊆ Γ^ω`, all of `Σ` for
 /// schemes with double omission).
 pub fn solvable_by(scheme: &dyn OmissionScheme, k: usize, alphabet: &[Letter]) -> CheckResult {
-    solvable_by_impl(&|u| scheme.allows_prefix(u), None, k, alphabet)
+    solvable_by_impl(&|u| scheme.allows_prefix(u), None, k, alphabet, &mut NullRecorder)
+}
+
+/// [`solvable_by`] with structured observations delivered to `recorder`:
+/// one `checker_round` event per frontier step, carrying the frontier size
+/// and view-arena growth.
+pub fn solvable_by_with_recorder<R: Recorder + ?Sized>(
+    scheme: &dyn OmissionScheme,
+    k: usize,
+    alphabet: &[Letter],
+    recorder: &mut R,
+) -> CheckResult {
+    solvable_by_impl(&|u| scheme.allows_prefix(u), None, k, alphabet, recorder)
 }
 
 /// The rayon-parallel variant of [`solvable_by`]: prefix-viability tests —
@@ -120,6 +133,22 @@ pub fn solvable_by_par<S>(scheme: &S, k: usize, alphabet: &[Letter]) -> CheckRes
 where
     S: OmissionScheme + Sync + ?Sized,
 {
+    solvable_by_par_with_recorder(scheme, k, alphabet, &mut NullRecorder)
+}
+
+/// [`solvable_by_par`] with structured observations delivered to
+/// `recorder`. Events come from the sequential coordinator, so traces are
+/// identical to [`solvable_by_with_recorder`]'s modulo timing.
+pub fn solvable_by_par_with_recorder<S, R>(
+    scheme: &S,
+    k: usize,
+    alphabet: &[Letter],
+    recorder: &mut R,
+) -> CheckResult
+where
+    S: OmissionScheme + Sync + ?Sized,
+    R: Recorder + ?Sized,
+{
     solvable_by_impl(
         &|u| scheme.allows_prefix(u),
         Some(&|words: &[Word]| {
@@ -128,16 +157,18 @@ where
         }),
         k,
         alphabet,
+        recorder,
     )
 }
 
 type BatchViability<'a> = &'a dyn Fn(&[Word]) -> Vec<bool>;
 
-fn solvable_by_impl(
+fn solvable_by_impl<R: Recorder + ?Sized>(
     allows: &dyn Fn(&Word) -> bool,
     batch: Option<BatchViability<'_>>,
     k: usize,
     alphabet: &[Letter],
+    recorder: &mut R,
 ) -> CheckResult {
     let mut arena = ViewArena::new();
     // Prefix store: tree-encoded, prefixes[i] = (parent index, letter).
@@ -170,7 +201,8 @@ fn solvable_by_impl(
         Word(letters)
     };
 
-    for _round in 0..k {
+    for round in 0..k {
+        let step_timer = RoundTimer::start_if(recorder.enabled());
         let mut next: Vec<ExecState> = Vec::with_capacity(frontier.len() * alphabet.len());
         // Group by prefix: all four input pairs extend the same way, so
         // test allows_prefix once per (prefix, letter). Entries with the
@@ -228,6 +260,12 @@ fn solvable_by_impl(
         // Keep same-prefix entries contiguous: sort by prefix index.
         next.sort_by_key(|e| e.prefix_idx);
         frontier = next;
+        recorder.on_checker_round(
+            round + 1,
+            frontier.len(),
+            arena.len(),
+            step_timer.elapsed_nanos(),
+        );
         if frontier.is_empty() {
             return CheckResult::Empty;
         }
@@ -364,7 +402,28 @@ pub fn first_solvable_horizon(
     max_k: usize,
     alphabet: &[Letter],
 ) -> Option<usize> {
-    (0..=max_k).find(|&k| solvable_by(scheme, k, alphabet).is_solvable())
+    first_solvable_horizon_with_recorder(scheme, max_k, alphabet, &mut NullRecorder)
+}
+
+/// [`first_solvable_horizon`] with structured observations delivered to
+/// `recorder`: every inner check streams its `checker_round` events, and
+/// each horizon `k` closes with a `horizon` event carrying its verdict and
+/// wall time.
+pub fn first_solvable_horizon_with_recorder<R: Recorder + ?Sized>(
+    scheme: &dyn OmissionScheme,
+    max_k: usize,
+    alphabet: &[Letter],
+    recorder: &mut R,
+) -> Option<usize> {
+    for k in 0..=max_k {
+        let timer = RoundTimer::start_if(recorder.enabled());
+        let solvable = solvable_by_with_recorder(scheme, k, alphabet, recorder).is_solvable();
+        recorder.on_horizon(k, solvable, timer.elapsed_nanos());
+        if solvable {
+            return Some(k);
+        }
+    }
+    None
 }
 
 #[cfg(test)]

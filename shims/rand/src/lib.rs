@@ -1,0 +1,176 @@
+//! Offline shim for the `rand` crate.
+//!
+//! The build environment cannot reach a cargo registry, so this in-tree
+//! crate provides the exact subset of the `rand 0.10` API the workspace
+//! uses: `Rng` / `RngExt` / `SeedableRng`, a deterministic [`rngs::StdRng`]
+//! (xoshiro256++ seeded through SplitMix64), and
+//! [`seq::SliceRandom::shuffle`]. The generator is deterministic per seed,
+//! which is all the experiments and equivalence tests rely on; it makes no
+//! claim of matching upstream `StdRng` output streams.
+
+/// Low-level generator interface: a source of 64 random bits.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// High-level convenience methods over [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform `usize` in `[0, bound)`.
+    ///
+    /// # Panics
+    /// Panics when `bound == 0`.
+    fn random_below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "empty range");
+        // Modulo bias is ≤ bound/2^64 — irrelevant at the sizes used here.
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Extension methods that live on a separate trait upstream (rand 0.10
+/// splits sampling helpers out of the core `Rng` trait).
+pub trait RngExt: Rng {
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        // 53 uniform mantissa bits → uniform f64 in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Seeding interface.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// A deterministic xoshiro256++ generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence helpers.
+
+    use super::Rng;
+
+    /// In-place uniform shuffling.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle driven by `rng`.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_below(i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    use super::RngCore;
+
+    #[test]
+    fn random_bool_extremes() {
+        use super::RngExt;
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!((0..64).all(|_| !rng.random_bool(0.0)));
+        assert!((0..64).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "astronomically unlikely to be identity");
+    }
+
+    #[test]
+    fn random_below_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for bound in [1usize, 2, 17] {
+            for _ in 0..32 {
+                assert!(rng.random_below(bound) < bound);
+            }
+        }
+    }
+}

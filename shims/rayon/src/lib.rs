@@ -1,0 +1,107 @@
+//! Offline shim for the `rayon` crate.
+//!
+//! Implements the `par_iter().map(f).collect()` pipeline the model checker
+//! uses, with real data parallelism: the input slice is split into one
+//! contiguous chunk per available core, each chunk is mapped on a scoped
+//! thread, and the per-chunk outputs are concatenated in order — so
+//! results are position-stable exactly like rayon's indexed collect.
+
+pub mod prelude {
+    //! The rayon prelude subset.
+    pub use crate::{IntoParallelRefIterator, ParallelMap};
+}
+
+/// Types whose references can be iterated in parallel.
+pub trait IntoParallelRefIterator<'a> {
+    /// The element reference type.
+    type Item: 'a;
+    /// Begins a parallel pipeline over `&self`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// A borrowed parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps every element through `f` (in parallel at collect time).
+    pub fn map<R, F>(self, f: F) -> ParallelMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParallelMap {
+            slice: self.slice,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel pipeline, evaluated by [`ParallelMap::collect`].
+pub struct ParallelMap<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> ParallelMap<'a, T, F> {
+    /// Evaluates the pipeline and collects the results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let n = self.slice.len();
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n.max(1));
+        if workers <= 1 || n < 2 {
+            return self.slice.iter().map(&self.f).collect();
+        }
+        let chunk = n.div_ceil(workers);
+        let f = &self.f;
+        let mut per_chunk: Vec<Vec<R>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .slice
+                .chunks(chunk)
+                .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            per_chunk = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        });
+        per_chunk.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_on_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}
