@@ -33,6 +33,8 @@ fn main() {
                 CheckResult::Unsolvable { chain } => (chain.len().to_string(), "—".into()),
                 CheckResult::Solvable { views, .. } => ("—".to_string(), views.to_string()),
                 CheckResult::Empty => ("—".to_string(), "0".into()),
+                // unbudgeted solvable_by never runs out of budget
+                CheckResult::BudgetExhausted { .. } => unreachable!(),
             };
             report.row(&[name, &k, &mark(result.is_solvable()), &chain_len, &views]);
         }

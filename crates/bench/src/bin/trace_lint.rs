@@ -130,6 +130,33 @@ fn lint(text: &str) -> Result<(usize, usize), String> {
                 }
                 runs_closed += 1;
             }
+            "engine_degraded" => {
+                // Degradation happens inside a run, during a specific phase.
+                if current.is_none() {
+                    return Err(format!("line {line_no}: engine_degraded outside a run"));
+                }
+                let phase = value
+                    .get("phase")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("line {line_no}: engine_degraded missing \"phase\""))?;
+                if phase != "send" && phase != "advance" {
+                    return Err(format!(
+                        "line {line_no}: engine_degraded phase {phase:?}, expected \"send\" or \"advance\""
+                    ));
+                }
+                field_u64(&value, "shard", line_no)?;
+            }
+            "budget_exhausted" => {
+                // Emitted by the checker; the frontier at the stop point can
+                // never exceed the cumulative states explored.
+                let frontier = field_u64(&value, "frontier", line_no)?;
+                let states = field_u64(&value, "states", line_no)?;
+                if frontier > states {
+                    return Err(format!(
+                        "line {line_no}: budget_exhausted frontier {frontier} > states explored {states}"
+                    ));
+                }
+            }
             // decision/span/checker_round/horizon need no cross-checks here.
             _ => {}
         }
@@ -210,6 +237,37 @@ mod tests {
             .unwrap_err()
             .contains("schema"));
         assert!(lint("not json").unwrap_err().contains("not valid JSON"));
+    }
+
+    #[test]
+    fn validates_engine_degraded_and_budget_exhausted() {
+        let ok = [
+            r#"{"schema":"SCHEMA","event":"run_start","round":0,"engine":"network_parallel","nodes":2,"threads":2}"#,
+            r#"{"schema":"SCHEMA","event":"engine_degraded","round":0,"phase":"send","shard":1}"#,
+            r#"{"schema":"SCHEMA","event":"round_end","round":0,"sent":0,"delivered":0,"dropped":0,"misaddressed":0,"nanos":0}"#,
+            r#"{"schema":"SCHEMA","event":"run_end","round":1,"sent":0,"delivered":0,"dropped":0,"misaddressed":0,"nanos":0}"#,
+            r#"{"schema":"SCHEMA","event":"budget_exhausted","round":2,"frontier":9,"states":40}"#,
+        ]
+        .map(|s| line(s))
+        .join("\n");
+        assert_eq!(lint(&ok), Ok((5, 1)));
+
+        let outside = line(
+            r#"{"schema":"SCHEMA","event":"engine_degraded","round":0,"phase":"send","shard":0}"#,
+        );
+        assert!(lint(&outside).unwrap_err().contains("outside a run"));
+
+        let bad_phase = [
+            r#"{"schema":"SCHEMA","event":"run_start","round":0,"engine":"network_parallel","nodes":2,"threads":2}"#,
+            r#"{"schema":"SCHEMA","event":"engine_degraded","round":0,"phase":"warp","shard":0}"#,
+        ]
+        .map(|s| line(s))
+        .join("\n");
+        assert!(lint(&bad_phase).unwrap_err().contains("phase"));
+
+        let bad_budget =
+            line(r#"{"schema":"SCHEMA","event":"budget_exhausted","round":1,"frontier":50,"states":10}"#);
+        assert!(lint(&bad_budget).unwrap_err().contains("frontier"));
     }
 
     #[test]

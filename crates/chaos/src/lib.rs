@@ -1,0 +1,44 @@
+//! Chaos harness: seeded adversary fuzzing for the network engines.
+//!
+//! Theorem V.1 gives the workspace a sharp testable boundary: flooding
+//! consensus on a graph `G` tolerates any omission adversary with fewer
+//! than `c(G)` losses per round, and no algorithm tolerates `c(G)`. This
+//! crate turns that boundary into a randomized harness:
+//!
+//! 1. **Generate** — [`gen::AdversaryGen`] is a small composable DSL of
+//!    adversary generators (budget-capped `O_f` noise, cut-targeted
+//!    `Γ_C` attacks, crash onset, eventual quiescence, stacking). A
+//!    generator samples a concrete [`minobs_sim::adversary::Adversary`]
+//!    from a seeded [`rand::rngs::StdRng`], so every run is replayable
+//!    from `(graph, seed)` alone.
+//! 2. **Check** — [`props`] states the paper's guarantees as executable
+//!    properties of a finished run: Agreement, Validity, Termination by
+//!    the round bound, budget conformance (`|drops ∩ pending| ≤ f`,
+//!    per round, set-wise), and message conservation.
+//! 3. **Shrink** — on a violation, [`shrink`] reduces the recorded
+//!    omission script to a local minimum by greedy delta debugging: the
+//!    result is a minimal [`minobs_sim::adversary::ScriptedAdversary`]
+//!    reproducer, serialized by [`artifact`] as deterministic JSON
+//!    (`minobs/reproducer/v1`) that replays byte-for-byte.
+//!
+//! The [`harness`] module ties the three together; the `chaos` binary
+//! exposes `fuzz` and `replay` subcommands (see `docs/CHAOS.md`).
+//!
+//! Everything is deterministic per seed: artifacts contain no
+//! timestamps, the RNG is the workspace's seeded shim, and shrinking
+//! explores candidates in a fixed order — the same seed produces the
+//! same reproducer, byte for byte.
+
+pub mod artifact;
+pub mod gen;
+pub mod harness;
+pub mod props;
+pub mod record;
+pub mod shrink;
+
+pub use artifact::{GraphSpec, Reproducer, REPRODUCER_SCHEMA};
+pub use gen::AdversaryGen;
+pub use harness::{replay, run_chaos, ChaosConfig, ChaosReport};
+pub use props::Violation;
+pub use record::RecordingAdversary;
+pub use shrink::shrink_script;

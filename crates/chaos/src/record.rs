@@ -1,0 +1,86 @@
+//! Script recording: turning any adversary run into a replayable script.
+//!
+//! [`RecordingAdversary`] wraps an adversary and records, per round, the
+//! *effective* omission set `drops ∩ pending` (sorted, deduplicated).
+//! Effective sets are what matter for replay: an edge named while no
+//! message was in flight changes nothing, so recording it would only
+//! bloat the script the shrinker then has to whittle down.
+
+use minobs_graphs::DirectedEdge;
+use minobs_sim::adversary::Adversary;
+
+/// Wraps an adversary, recording the effective omission script.
+pub struct RecordingAdversary {
+    inner: Box<dyn Adversary>,
+    script: Vec<Vec<DirectedEdge>>,
+}
+
+impl RecordingAdversary {
+    /// Wraps `inner`; the script starts empty and grows one entry per
+    /// observed round.
+    pub fn new(inner: Box<dyn Adversary>) -> Self {
+        RecordingAdversary {
+            inner,
+            script: Vec::new(),
+        }
+    }
+
+    /// The effective omission script recorded so far.
+    pub fn script(&self) -> &[Vec<DirectedEdge>] {
+        &self.script
+    }
+
+    /// Consumes the wrapper, returning the recorded script.
+    pub fn into_script(self) -> Vec<Vec<DirectedEdge>> {
+        self.script
+    }
+}
+
+impl Adversary for RecordingAdversary {
+    fn select_drops(&mut self, round: usize, pending: &[DirectedEdge]) -> Vec<DirectedEdge> {
+        let drops = self.inner.select_drops(round, pending);
+        let mut effective: Vec<DirectedEdge> = drops
+            .iter()
+            .copied()
+            .filter(|e| pending.contains(e))
+            .collect();
+        effective.sort_unstable();
+        effective.dedup();
+        while self.script.len() <= round {
+            self.script.push(Vec::new());
+        }
+        self.script[round] = effective;
+        drops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minobs_sim::adversary::ScriptedAdversary;
+
+    fn edges(list: &[(usize, usize)]) -> Vec<DirectedEdge> {
+        list.iter().map(|&(a, b)| DirectedEdge::new(a, b)).collect()
+    }
+
+    #[test]
+    fn records_only_effective_drops_sorted() {
+        // The script names (1,0) twice plus an idle edge (5,6); only the
+        // in-flight arcs survive, once each, in sorted order.
+        let inner = ScriptedAdversary::repeating(vec![edges(&[(1, 0), (5, 6), (0, 1), (1, 0)])]);
+        let mut rec = RecordingAdversary::new(Box::new(inner));
+        let pending = edges(&[(0, 1), (1, 0)]);
+        let drops = rec.select_drops(0, &pending);
+        assert_eq!(drops.len(), 4, "drops pass through untouched");
+        assert_eq!(rec.script(), &[edges(&[(0, 1), (1, 0)])]);
+    }
+
+    #[test]
+    fn pads_unobserved_rounds_with_empty_sets() {
+        let inner = ScriptedAdversary::once(vec![]);
+        let mut rec = RecordingAdversary::new(Box::new(inner));
+        let _ = rec.select_drops(3, &edges(&[(0, 1)]));
+        assert_eq!(rec.script().len(), 4);
+        assert!(rec.script()[..3].iter().all(Vec::is_empty));
+    }
+}

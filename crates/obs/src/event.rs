@@ -132,6 +132,26 @@ pub enum TraceEvent {
         /// Wall-clock nanoseconds for the whole check (0 when timing is off).
         nanos: u64,
     },
+    /// A parallel engine worker panicked and its shard was re-executed
+    /// serially by the coordinator — the run degraded instead of aborting.
+    EngineDegraded {
+        /// Round in which the worker panicked (0-based).
+        round: usize,
+        /// Which phase degraded: `"send"` or `"advance"`.
+        phase: &'static str,
+        /// Index of the affected worker shard.
+        shard: usize,
+    },
+    /// The model checker stopped early because its state or wall-clock
+    /// budget ran out; the result is partial.
+    BudgetExhausted {
+        /// Deepest fully-explored horizon (rounds completed).
+        horizon: usize,
+        /// Frontier size at the moment the budget ran out.
+        frontier: usize,
+        /// Cumulative execution states explored before stopping.
+        states: usize,
+    },
     /// A run finished, with totals over all rounds.
     RunEnd {
         /// Rounds executed.
@@ -154,6 +174,8 @@ impl TraceEvent {
             TraceEvent::Span { .. } => "span",
             TraceEvent::CheckerRound { .. } => "checker_round",
             TraceEvent::Horizon { .. } => "horizon",
+            TraceEvent::EngineDegraded { .. } => "engine_degraded",
+            TraceEvent::BudgetExhausted { .. } => "budget_exhausted",
             TraceEvent::RunEnd { .. } => "run_end",
         }
     }
@@ -167,8 +189,11 @@ impl TraceEvent {
             | TraceEvent::Decision { round, .. }
             | TraceEvent::RoundEnd { round, .. }
             | TraceEvent::Span { round, .. }
-            | TraceEvent::CheckerRound { round, .. } => round,
-            TraceEvent::Horizon { horizon, .. } => horizon,
+            | TraceEvent::CheckerRound { round, .. }
+            | TraceEvent::EngineDegraded { round, .. } => round,
+            TraceEvent::Horizon { horizon, .. } | TraceEvent::BudgetExhausted { horizon, .. } => {
+                horizon
+            }
             TraceEvent::RunEnd { rounds, .. } => rounds,
         }
     }
@@ -226,6 +251,16 @@ impl TraceEvent {
             } => {
                 map.insert("solvable".to_string(), Value::from(*solvable));
                 map.insert("nanos".to_string(), Value::from(*nanos));
+            }
+            TraceEvent::EngineDegraded { phase, shard, .. } => {
+                map.insert("phase".to_string(), Value::from(*phase));
+                map.insert("shard".to_string(), Value::from(*shard as u64));
+            }
+            TraceEvent::BudgetExhausted {
+                frontier, states, ..
+            } => {
+                map.insert("frontier".to_string(), Value::from(*frontier as u64));
+                map.insert("states".to_string(), Value::from(*states as u64));
             }
             TraceEvent::RunEnd { totals, nanos, .. } => {
                 insert_counts(&mut map, *totals);
@@ -294,6 +329,16 @@ mod tests {
                 horizon: 3,
                 solvable: true,
                 nanos: 100,
+            },
+            TraceEvent::EngineDegraded {
+                round: 2,
+                phase: "send",
+                shard: 1,
+            },
+            TraceEvent::BudgetExhausted {
+                horizon: 4,
+                frontier: 120,
+                states: 4096,
             },
             TraceEvent::RunEnd {
                 rounds: 4,

@@ -103,6 +103,26 @@ pub trait Recorder {
         });
     }
 
+    /// A parallel engine worker panicked; its shard was recovered serially.
+    #[inline]
+    fn on_engine_degraded(&mut self, round: usize, phase: &'static str, shard: usize) {
+        self.record(TraceEvent::EngineDegraded {
+            round,
+            phase,
+            shard,
+        });
+    }
+
+    /// The model checker's state or time budget ran out mid-check.
+    #[inline]
+    fn on_budget_exhausted(&mut self, horizon: usize, frontier: usize, states: usize) {
+        self.record(TraceEvent::BudgetExhausted {
+            horizon,
+            frontier,
+            states,
+        });
+    }
+
     /// A run finished with totals over all rounds.
     #[inline]
     fn on_run_end(&mut self, rounds: usize, totals: RoundCounts, nanos: u64) {
@@ -173,6 +193,8 @@ impl MemoryRecorder {
             TraceEvent::Span { round, .. } => (round, 4, 0, 0),
             TraceEvent::CheckerRound { round, .. } => (round, 5, 0, 0),
             TraceEvent::Horizon { horizon, .. } => (horizon, 6, 0, 0),
+            TraceEvent::EngineDegraded { round, shard, .. } => (round, 8, shard, 0),
+            TraceEvent::BudgetExhausted { horizon, .. } => (horizon, 9, 0, 0),
             TraceEvent::RunEnd { rounds, .. } => (rounds, 7, 0, 0),
         });
         events

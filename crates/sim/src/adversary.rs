@@ -200,29 +200,77 @@ impl Adversary for GreedyCutAdversary {
     }
 }
 
-/// Wraps an adversary with the `O_f` budget: asserts at most `f` drops per
-/// round (panics on violation — failure injection for scheme contracts).
+/// One recorded breach of an `O_f` budget contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetViolation {
+    /// The round in which the budget was exceeded.
+    pub round: usize,
+    /// Effective omissions requested (`|drops ∩ pending|`, set-wise).
+    pub requested: usize,
+    /// The budget `f` that was in force.
+    pub budget: usize,
+}
+
+impl std::fmt::Display for BudgetViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "adversary exceeded O_{} budget at round {}: {} effective drops",
+            self.budget, self.round, self.requested
+        )
+    }
+}
+
+/// Wraps an adversary with the `O_f` budget contract: every round where
+/// the *effective* omission set (`drops ∩ pending`, counted set-wise)
+/// exceeds `f` is recorded as a structured [`BudgetViolation`] instead of
+/// panicking or silently truncating. The drops pass through unmodified so
+/// harnesses can observe the consequences and assert on
+/// [`BudgetChecked::violations`] afterwards.
 pub struct BudgetChecked<A: Adversary> {
     inner: A,
     f: usize,
+    violations: Vec<BudgetViolation>,
 }
 
 impl<A: Adversary> BudgetChecked<A> {
     /// Wraps `inner` with budget `f`.
     pub fn new(inner: A, f: usize) -> Self {
-        BudgetChecked { inner, f }
+        BudgetChecked {
+            inner,
+            f,
+            violations: Vec::new(),
+        }
+    }
+
+    /// All budget breaches recorded so far, in round order.
+    pub fn violations(&self) -> &[BudgetViolation] {
+        &self.violations
+    }
+
+    /// The first breach, if any.
+    pub fn first_violation(&self) -> Option<BudgetViolation> {
+        self.violations.first().copied()
+    }
+
+    /// Unwraps, yielding the inner adversary and the recorded breaches.
+    pub fn into_parts(self) -> (A, Vec<BudgetViolation>) {
+        (self.inner, self.violations)
     }
 }
 
 impl<A: Adversary> Adversary for BudgetChecked<A> {
     fn select_drops(&mut self, round: usize, pending: &[DirectedEdge]) -> Vec<DirectedEdge> {
         let drops = self.inner.select_drops(round, pending);
-        let effective = drops.iter().filter(|e| pending.contains(e)).count();
-        assert!(
-            effective <= self.f,
-            "adversary exceeded O_{} budget at round {round}: {effective} drops",
-            self.f
-        );
+        let effective: std::collections::BTreeSet<&DirectedEdge> =
+            drops.iter().filter(|e| pending.contains(e)).collect();
+        if effective.len() > self.f {
+            self.violations.push(BudgetViolation {
+                round,
+                requested: effective.len(),
+                budget: self.f,
+            });
+        }
         drops
     }
 }
@@ -334,15 +382,41 @@ mod tests {
         let mut checked = BudgetChecked::new(adv, 2);
         let pending = edges(&[(0, 3)]);
         let _ = checked.select_drops(0, &pending);
+        assert!(checked.violations().is_empty());
+        assert_eq!(checked.first_violation(), None);
     }
 
     #[test]
-    #[should_panic(expected = "exceeded O_1 budget")]
-    fn budget_checker_panics_on_violation() {
+    fn budget_checker_records_structured_violation() {
         let script = ScriptedAdversary::repeating(vec![edges(&[(0, 1), (1, 0)])]);
         let mut checked = BudgetChecked::new(script, 1);
         let pending = edges(&[(0, 1), (1, 0)]);
-        let _ = checked.select_drops(0, &pending);
+        // The drops pass through unmodified — no silent truncation.
+        let drops = checked.select_drops(0, &pending);
+        assert_eq!(drops.len(), 2);
+        assert_eq!(
+            checked.first_violation(),
+            Some(BudgetViolation {
+                round: 0,
+                requested: 2,
+                budget: 1,
+            })
+        );
+        // A second offending round appends a second record.
+        let _ = checked.select_drops(1, &pending);
+        assert_eq!(checked.violations().len(), 2);
+        assert_eq!(checked.violations()[1].round, 1);
+    }
+
+    #[test]
+    fn budget_checker_ignores_edges_not_in_flight() {
+        // Naming edges with no message in flight is legal (the paper's
+        // letters also name losses of unsent messages): only the
+        // effective set drops ∩ pending counts against the budget.
+        let script = ScriptedAdversary::repeating(vec![edges(&[(0, 1), (1, 0), (2, 3)])]);
+        let mut checked = BudgetChecked::new(script, 1);
+        let _ = checked.select_drops(0, &edges(&[(0, 1)]));
+        assert!(checked.violations().is_empty());
     }
 
     #[test]
@@ -356,5 +430,84 @@ mod tests {
         assert!(adv.select_drops(1, &pending).is_empty());
         let drops = adv.select_drops(2, &pending);
         assert_eq!(drops, edges(&[(1, 0), (1, 2)]));
+    }
+
+    #[test]
+    fn crash_adversary_onset_mid_run_kills_only_later_rounds() {
+        // Crash onset mid-run on an evolving pending set: rounds before
+        // the onset are untouched even when the victim is chatty, and
+        // from the onset on exactly the victim's sends die — others'
+        // messages always survive.
+        let mut adv = CrashAdversary {
+            victim: 0,
+            crash_round: 3,
+        };
+        for round in 0..6 {
+            // Pending evolves: the victim sends on even rounds only.
+            let pending = if round % 2 == 0 {
+                edges(&[(0, 1), (1, 0), (2, 1)])
+            } else {
+                edges(&[(1, 0), (2, 1)])
+            };
+            let drops = adv.select_drops(round, &pending);
+            if round < 3 {
+                assert!(drops.is_empty(), "round {round}: pre-onset must be silent");
+            } else if round % 2 == 0 {
+                assert_eq!(drops, edges(&[(0, 1)]), "round {round}");
+            } else {
+                assert!(drops.is_empty(), "round {round}: victim sent nothing");
+            }
+        }
+    }
+
+    #[test]
+    fn crash_adversary_empty_pending_round_is_harmless() {
+        let mut adv = CrashAdversary {
+            victim: 2,
+            crash_round: 0,
+        };
+        // Post-onset with nothing in flight: no drops, no panic.
+        assert!(adv.select_drops(0, &[]).is_empty());
+        assert!(adv.select_drops(5, &[]).is_empty());
+    }
+
+    #[test]
+    fn greedy_cut_never_exceeds_cut_width() {
+        let g = generators::barbell(4, 3);
+        let p = cut_partition(&g).unwrap();
+        let width = p.f();
+        let mut adv = GreedyCutAdversary::new(&p);
+        // Stress with many pending shapes, including duplicates of cut
+        // arcs and plenty of non-cut traffic: the omission set is always
+        // one direction of the cut, so never more than the cut width.
+        let mut rng = StdRng::seed_from_u64(42);
+        let all_arcs: Vec<DirectedEdge> = g
+            .edges()
+            .iter()
+            .flat_map(|e| e.directions())
+            .collect();
+        for round in 0..100 {
+            let mut pending = all_arcs.clone();
+            pending.shuffle(&mut rng);
+            pending.truncate(1 + round % all_arcs.len());
+            let drops = adv.select_drops(round, &pending);
+            assert!(drops.len() <= width, "round {round}: {} > {width}", drops.len());
+            let distinct: std::collections::BTreeSet<_> = drops.iter().collect();
+            assert_eq!(distinct.len(), drops.len(), "no duplicate arcs");
+        }
+    }
+
+    #[test]
+    fn greedy_cut_empty_pending_still_picks_a_direction() {
+        // With nothing in flight both directions count 0; ties go A→B.
+        // The returned arcs are then all ineffective — legal, harmless.
+        let g = generators::barbell(3, 2);
+        let p = cut_partition(&g).unwrap();
+        let mut adv = GreedyCutAdversary::new(&p);
+        let drops = adv.select_drops(0, &[]);
+        assert_eq!(drops.len(), p.f());
+        assert!(drops
+            .iter()
+            .all(|e| p.side_a.contains(&e.from) && p.side_b.contains(&e.to)));
     }
 }

@@ -185,9 +185,15 @@ impl<'g, P: NodeProtocol> SyncNetwork<'g, P> {
         let mut inboxes: Vec<Vec<(usize, P::Msg)>> = (0..self.nodes.len())
             .map(|_| Vec::new())
             .collect();
+        // Stats count only effective omissions (drops ∩ pending): the
+        // adversary may name edges with no message in flight (the paper's
+        // letters also name losses of unsent messages), and those must not
+        // inflate `max_drops_per_round` past the `O_f` budget accounting.
+        let mut effective_drops: BTreeSet<DirectedEdge> = BTreeSet::new();
         for (edge, msg) in pending {
             let status = if drops.contains(&edge) {
                 counts.dropped += 1;
+                effective_drops.insert(edge);
                 MessageStatus::Dropped
             } else {
                 inboxes[edge.to].push((edge.from, msg));
@@ -198,7 +204,8 @@ impl<'g, P: NodeProtocol> SyncNetwork<'g, P> {
                 recorder.on_message(self.round, edge.from, edge.to, status);
             }
         }
-        self.stats.max_drops_per_round = self.stats.max_drops_per_round.max(drops.len());
+        self.stats.max_drops_per_round =
+            self.stats.max_drops_per_round.max(effective_drops.len());
         // Message conservation: every valid send this round is accounted
         // for exactly once. (Misaddressed sends never enter `sent`.)
         debug_assert_eq!(
@@ -480,6 +487,29 @@ mod tests {
         // (has_edge rejects self), misaddressed.
         assert_eq!(out.stats.misaddressed, 2);
         assert_eq!(out.stats.messages_sent, 1);
+    }
+
+    #[test]
+    fn max_drops_counts_only_in_flight_edges() {
+        // The adversary names three edges, but only 1→0 is ever in flight
+        // (node 0 halts immediately, so 0→1 is pending in round 0 only if
+        // node 0 is live — here all are live, so 0→1 and 1→0 fly; 2→0 is
+        // not an edge of the path at all and never flies).
+        let g = generators::path(3); // edges 0-1, 1-2
+        let nodes = bcast_nodes(&g, &[1, 2, 3], 2);
+        let mut adv = ScriptedAdversary::repeating(vec![vec![
+            DirectedEdge::new(1, 0),
+            DirectedEdge::new(2, 0), // not an edge: never pending
+            DirectedEdge::new(0, 2), // not an edge: never pending
+        ]]);
+        let out = run_network(&g, nodes, &mut adv, 4);
+        // Only 1→0 is ever both named and in flight.
+        assert_eq!(out.stats.max_drops_per_round, 1);
+        assert_eq!(
+            out.stats.messages_dropped,
+            out.stats.rounds,
+            "one effective drop per round"
+        );
     }
 
     #[test]

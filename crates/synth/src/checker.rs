@@ -48,13 +48,79 @@ pub enum CheckResult {
     },
     /// The scheme allows no prefix of length `k` at all (empty scheme).
     Empty,
+    /// The check ran out of [`Budget`] before reaching horizon `k`. The
+    /// partial answer is honest: every horizon up to `horizon_reached`
+    /// was fully explored without finding a verdict for `k`.
+    BudgetExhausted {
+        /// The deepest round whose frontier was fully computed.
+        horizon_reached: usize,
+        /// Size of the frontier at the stop point.
+        frontier_size: usize,
+    },
 }
 
 impl CheckResult {
     /// `true` for [`CheckResult::Solvable`] (and for the vacuous
-    /// [`CheckResult::Empty`]).
+    /// [`CheckResult::Empty`]). A [`CheckResult::BudgetExhausted`] is
+    /// *not* solvable — it is no verdict at all.
     pub fn is_solvable(&self) -> bool {
         matches!(self, CheckResult::Solvable { .. } | CheckResult::Empty)
+    }
+}
+
+/// A resource cap for a bounded check: graceful degradation instead of an
+/// unbounded frontier explosion. Exceeding either limit stops the check
+/// at the next round boundary with [`CheckResult::BudgetExhausted`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Cap on cumulative frontier entries explored (sum over rounds).
+    pub max_states: usize,
+    /// Wall-clock cap in milliseconds. `u64::MAX` disables the clock,
+    /// keeping the check fully deterministic.
+    pub max_millis: u64,
+}
+
+impl Budget {
+    /// No limits — behaves exactly like the unbudgeted entry points.
+    pub const UNLIMITED: Budget = Budget {
+        max_states: usize::MAX,
+        max_millis: u64::MAX,
+    };
+
+    /// A deterministic, states-only budget (the clock is disabled).
+    pub fn states(max_states: usize) -> Self {
+        Budget {
+            max_states,
+            max_millis: u64::MAX,
+        }
+    }
+}
+
+/// Mutable budget accounting, shared across rounds — and across horizons
+/// in [`first_solvable_horizon_budgeted`], so the cap is cumulative for
+/// the whole sweep rather than per inner check.
+struct BudgetTracker {
+    budget: Budget,
+    states_spent: usize,
+    deadline: Option<std::time::Instant>,
+}
+
+impl BudgetTracker {
+    fn new(budget: Budget) -> Self {
+        BudgetTracker {
+            budget,
+            states_spent: 0,
+            deadline: (budget.max_millis != u64::MAX).then(|| {
+                std::time::Instant::now() + std::time::Duration::from_millis(budget.max_millis)
+            }),
+        }
+    }
+
+    /// Charges one round's frontier; `true` when the budget still holds.
+    fn charge(&mut self, frontier: usize) -> bool {
+        self.states_spent = self.states_spent.saturating_add(frontier);
+        self.states_spent <= self.budget.max_states
+            && self.deadline.is_none_or(|d| std::time::Instant::now() < d)
     }
 }
 
@@ -109,7 +175,46 @@ struct ExecState {
 /// alphabet (use `GammaLetter`-only letters for `L ⊆ Γ^ω`, all of `Σ` for
 /// schemes with double omission).
 pub fn solvable_by(scheme: &dyn OmissionScheme, k: usize, alphabet: &[Letter]) -> CheckResult {
-    solvable_by_impl(&|u| scheme.allows_prefix(u), None, k, alphabet, &mut NullRecorder)
+    solvable_by_impl(
+        &|u| scheme.allows_prefix(u),
+        None,
+        k,
+        alphabet,
+        &mut NullRecorder,
+        None,
+    )
+}
+
+/// [`solvable_by`] under a [`Budget`]: stops at the next round boundary
+/// once the budget runs out, returning the honest partial verdict
+/// [`CheckResult::BudgetExhausted`] instead of churning forever.
+pub fn solvable_by_budgeted(
+    scheme: &dyn OmissionScheme,
+    k: usize,
+    alphabet: &[Letter],
+    budget: Budget,
+) -> CheckResult {
+    solvable_by_budgeted_with_recorder(scheme, k, alphabet, budget, &mut NullRecorder)
+}
+
+/// [`solvable_by_budgeted`] with structured observations: exhaustion
+/// additionally emits a `budget_exhausted` trace event.
+pub fn solvable_by_budgeted_with_recorder<R: Recorder + ?Sized>(
+    scheme: &dyn OmissionScheme,
+    k: usize,
+    alphabet: &[Letter],
+    budget: Budget,
+    recorder: &mut R,
+) -> CheckResult {
+    let mut tracker = BudgetTracker::new(budget);
+    solvable_by_impl(
+        &|u| scheme.allows_prefix(u),
+        None,
+        k,
+        alphabet,
+        recorder,
+        Some(&mut tracker),
+    )
 }
 
 /// [`solvable_by`] with structured observations delivered to `recorder`:
@@ -121,7 +226,14 @@ pub fn solvable_by_with_recorder<R: Recorder + ?Sized>(
     alphabet: &[Letter],
     recorder: &mut R,
 ) -> CheckResult {
-    solvable_by_impl(&|u| scheme.allows_prefix(u), None, k, alphabet, recorder)
+    solvable_by_impl(
+        &|u| scheme.allows_prefix(u),
+        None,
+        k,
+        alphabet,
+        recorder,
+        None,
+    )
 }
 
 /// The rayon-parallel variant of [`solvable_by`]: prefix-viability tests —
@@ -134,6 +246,32 @@ where
     S: OmissionScheme + Sync + ?Sized,
 {
     solvable_by_par_with_recorder(scheme, k, alphabet, &mut NullRecorder)
+}
+
+/// [`solvable_by_par`] under a [`Budget`]. Budget accounting lives in the
+/// sequential coordinator, so a states-only budget degrades at exactly
+/// the same round as the sequential [`solvable_by_budgeted`].
+pub fn solvable_by_par_budgeted<S>(
+    scheme: &S,
+    k: usize,
+    alphabet: &[Letter],
+    budget: Budget,
+) -> CheckResult
+where
+    S: OmissionScheme + Sync + ?Sized,
+{
+    let mut tracker = BudgetTracker::new(budget);
+    solvable_by_impl(
+        &|u| scheme.allows_prefix(u),
+        Some(&|words: &[Word]| {
+            use rayon::prelude::*;
+            words.par_iter().map(|u| scheme.allows_prefix(u)).collect()
+        }),
+        k,
+        alphabet,
+        &mut NullRecorder,
+        Some(&mut tracker),
+    )
 }
 
 /// [`solvable_by_par`] with structured observations delivered to
@@ -158,6 +296,7 @@ where
         k,
         alphabet,
         recorder,
+        None,
     )
 }
 
@@ -169,6 +308,7 @@ fn solvable_by_impl<R: Recorder + ?Sized>(
     k: usize,
     alphabet: &[Letter],
     recorder: &mut R,
+    mut tracker: Option<&mut BudgetTracker>,
 ) -> CheckResult {
     let mut arena = ViewArena::new();
     // Prefix store: tree-encoded, prefixes[i] = (parent index, letter).
@@ -188,6 +328,16 @@ fn solvable_by_impl<R: Recorder + ?Sized>(
                 view_w: arena.base(Role::White, wi),
                 view_b: arena.base(Role::Black, bi),
             });
+        }
+    }
+
+    if let Some(t) = tracker.as_deref_mut() {
+        if !t.charge(frontier.len()) {
+            recorder.on_budget_exhausted(0, frontier.len(), t.states_spent);
+            return CheckResult::BudgetExhausted {
+                horizon_reached: 0,
+                frontier_size: frontier.len(),
+            };
         }
     }
 
@@ -268,6 +418,20 @@ fn solvable_by_impl<R: Recorder + ?Sized>(
         );
         if frontier.is_empty() {
             return CheckResult::Empty;
+        }
+        // Budget is checked at round granularity: the round that tips
+        // the scales still finishes, so `horizon_reached` is always a
+        // fully-explored depth.
+        if round + 1 < k {
+            if let Some(t) = tracker.as_deref_mut() {
+                if !t.charge(frontier.len()) {
+                    recorder.on_budget_exhausted(round + 1, frontier.len(), t.states_spent);
+                    return CheckResult::BudgetExhausted {
+                        horizon_reached: round + 1,
+                        frontier_size: frontier.len(),
+                    };
+                }
+            }
         }
     }
 
@@ -424,6 +588,78 @@ pub fn first_solvable_horizon_with_recorder<R: Recorder + ?Sized>(
         }
     }
     None
+}
+
+/// The outcome of a budgeted horizon sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HorizonOutcome {
+    /// The smallest solvable horizon, as in [`first_solvable_horizon`].
+    Solvable(usize),
+    /// Every horizon `k ≤ max_k` was fully checked and none is solvable.
+    UnsolvableWithin(usize),
+    /// The budget ran out mid-sweep. All horizons `< at_horizon` were
+    /// fully checked and unsolvable; the verdict for `at_horizon` and
+    /// beyond is unknown.
+    BudgetExhausted {
+        /// The horizon whose check hit the cap.
+        at_horizon: usize,
+        /// Deepest fully-explored round inside that check.
+        horizon_reached: usize,
+        /// Frontier size at the stop point.
+        frontier_size: usize,
+    },
+}
+
+/// [`first_solvable_horizon`] under a [`Budget`] that is **cumulative
+/// across the whole sweep**: the state/time caps are shared by every
+/// inner check, so the sweep as a whole degrades gracefully instead of
+/// paying the cap once per horizon.
+pub fn first_solvable_horizon_budgeted(
+    scheme: &dyn OmissionScheme,
+    max_k: usize,
+    alphabet: &[Letter],
+    budget: Budget,
+) -> HorizonOutcome {
+    first_solvable_horizon_budgeted_with_recorder(scheme, max_k, alphabet, budget, &mut NullRecorder)
+}
+
+/// [`first_solvable_horizon_budgeted`] with structured observations.
+pub fn first_solvable_horizon_budgeted_with_recorder<R: Recorder + ?Sized>(
+    scheme: &dyn OmissionScheme,
+    max_k: usize,
+    alphabet: &[Letter],
+    budget: Budget,
+    recorder: &mut R,
+) -> HorizonOutcome {
+    let mut tracker = BudgetTracker::new(budget);
+    for k in 0..=max_k {
+        let timer = RoundTimer::start_if(recorder.enabled());
+        let result = solvable_by_impl(
+            &|u| scheme.allows_prefix(u),
+            None,
+            k,
+            alphabet,
+            recorder,
+            Some(&mut tracker),
+        );
+        if let CheckResult::BudgetExhausted {
+            horizon_reached,
+            frontier_size,
+        } = result
+        {
+            return HorizonOutcome::BudgetExhausted {
+                at_horizon: k,
+                horizon_reached,
+                frontier_size,
+            };
+        }
+        let solvable = result.is_solvable();
+        recorder.on_horizon(k, solvable, timer.elapsed_nanos());
+        if solvable {
+            return HorizonOutcome::Solvable(k);
+        }
+    }
+    HorizonOutcome::UnsolvableWithin(max_k)
 }
 
 #[cfg(test)]
@@ -634,6 +870,128 @@ mod tests {
         for k in 0..=5 {
             assert!(!solvable_by(&l, k, &gamma()).is_solvable(), "k={k}");
         }
+    }
+
+    #[test]
+    fn generous_budget_matches_unbudgeted() {
+        for scheme in [classic::s0(), classic::c1(), classic::r1()] {
+            for k in 0..=3 {
+                assert_eq!(
+                    solvable_by_budgeted(&scheme, k, &gamma(), Budget::UNLIMITED),
+                    solvable_by(&scheme, k, &gamma()),
+                    "{} k={k}",
+                    scheme.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_reports_partial_horizon() {
+        // R1's frontier at depth 4 is far beyond 50 cumulative states,
+        // so the check must stop early — deterministically, since a
+        // states-only budget never consults the clock.
+        let r = solvable_by_budgeted(&classic::r1(), 6, &gamma(), Budget::states(50));
+        let CheckResult::BudgetExhausted {
+            horizon_reached,
+            frontier_size,
+        } = r
+        else {
+            panic!("expected BudgetExhausted, got {r:?}");
+        };
+        assert!(!r.is_solvable());
+        assert!(horizon_reached < 6, "stopped at {horizon_reached}");
+        assert!(frontier_size > 0);
+        // Determinism: the same budget stops at the same point.
+        assert_eq!(
+            solvable_by_budgeted(&classic::r1(), 6, &gamma(), Budget::states(50)),
+            r
+        );
+    }
+
+    #[test]
+    fn budget_never_cuts_a_completed_check_short() {
+        // A budget big enough for the run returns the real verdict —
+        // the final frontier is never charged against further work.
+        let full = solvable_by(&classic::s1(), 2, &gamma());
+        assert_eq!(
+            solvable_by_budgeted(&classic::s1(), 2, &gamma(), Budget::states(100_000)),
+            full
+        );
+    }
+
+    #[test]
+    fn parallel_budgeted_degrades_at_the_same_round() {
+        for budget in [Budget::states(50), Budget::states(10_000), Budget::UNLIMITED] {
+            assert_eq!(
+                solvable_by_par_budgeted(&classic::r1(), 5, &gamma(), budget),
+                solvable_by_budgeted(&classic::r1(), 5, &gamma(), budget),
+                "{budget:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn budgeted_horizon_sweep_surfaces_exhaustion() {
+        // Unlimited budget reproduces the plain sweep.
+        assert_eq!(
+            first_solvable_horizon_budgeted(&classic::c1(), 4, &gamma(), Budget::UNLIMITED),
+            HorizonOutcome::Solvable(2)
+        );
+        assert_eq!(
+            first_solvable_horizon_budgeted(&classic::r1(), 3, &gamma(), Budget::UNLIMITED),
+            HorizonOutcome::UnsolvableWithin(3)
+        );
+        // A tiny cumulative budget dies mid-sweep and says where.
+        let out = first_solvable_horizon_budgeted(&classic::r1(), 6, &gamma(), Budget::states(40));
+        let HorizonOutcome::BudgetExhausted {
+            at_horizon,
+            horizon_reached,
+            frontier_size,
+        } = out
+        else {
+            panic!("expected BudgetExhausted, got {out:?}");
+        };
+        assert!(at_horizon <= 6);
+        assert!(horizon_reached < at_horizon || at_horizon == 0);
+        assert!(frontier_size > 0);
+    }
+
+    #[test]
+    fn exhaustion_emits_budget_exhausted_event() {
+        use minobs_obs::{MemoryRecorder, TraceEvent};
+        let mut rec = MemoryRecorder::new();
+        let r = solvable_by_budgeted_with_recorder(
+            &classic::r1(),
+            6,
+            &gamma(),
+            Budget::states(50),
+            &mut rec,
+        );
+        let CheckResult::BudgetExhausted {
+            horizon_reached,
+            frontier_size,
+        } = r
+        else {
+            panic!("expected BudgetExhausted");
+        };
+        let events: Vec<_> = rec
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::BudgetExhausted {
+                    horizon,
+                    frontier,
+                    states,
+                } => Some((*horizon, *frontier, *states)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(events.len(), 1);
+        let (horizon, frontier, states) = events[0];
+        assert_eq!(horizon, horizon_reached);
+        assert_eq!(frontier, frontier_size);
+        assert!(frontier <= states, "trace_lint invariant");
     }
 
     use minobs_core::word::Word;

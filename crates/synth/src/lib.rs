@@ -50,5 +50,8 @@
 pub mod checker;
 pub mod views;
 
-pub use checker::{first_solvable_horizon, solvable_by, solvable_by_par, ChainStep, CheckResult};
+pub use checker::{
+    first_solvable_horizon, first_solvable_horizon_budgeted, solvable_by, solvable_by_budgeted,
+    solvable_by_par, solvable_by_par_budgeted, Budget, ChainStep, CheckResult, HorizonOutcome,
+};
 pub use views::{ViewArena, ViewId};
