@@ -78,7 +78,7 @@ fn bench_engine_ablation(c: &mut Criterion) {
         });
         for threads in [2usize, 4] {
             group.bench_with_input(
-                BenchmarkId::new(format!("parallel_t{threads}"), n),
+                BenchmarkId::new(&format!("parallel_t{threads}"), n),
                 &n,
                 |b, &n| {
                     b.iter(|| {

@@ -10,6 +10,11 @@ use minobs_core::scheme::OmissionScheme;
 use minobs_synth::checker::{gamma_alphabet, sigma_alphabet, solvable_by, CheckResult};
 
 fn main() {
+    minobs_bench::cli::handle_common_flags(
+        "exp_bivalency",
+        "bivalency chains for unsolvable schemes",
+        "exp_bivalency",
+    );
     println!("== TAB-BIVAL: bivalency chains from the model checker ==\n");
     let mut report = Report::new(
         "bivalency",
@@ -49,7 +54,7 @@ fn main() {
         };
         report.row(&[&"S2 = Σω", &k, &mark(result.is_solvable()), &chain_len, &"—"]);
     }
-    report.finish();
+    minobs_bench::cli::require_artifact(report.finish());
 
     // Show one concrete chain — the machine-found analogue of Gray's
     // infinite regress of acknowledgments.

@@ -16,6 +16,11 @@ use minobs_core::theorem::min_excluded_prefix;
 use minobs_synth::checker::{gamma_alphabet, solvable_by};
 
 fn main() {
+    minobs_bench::cli::handle_common_flags(
+        "exp_budget",
+        "budgeted checker degradation table",
+        "exp_budget",
+    );
     println!("== TAB-BUDGET: at most k total losses ⇒ exactly k+1 rounds ==\n");
     let mut report = Report::new(
         "total_budget",
@@ -60,7 +65,7 @@ fn main() {
         assert!(worst <= p);
         report.row(&[&k, &mark(true), &p, &mark(at_k), &mark(at_k1), &worst]);
     }
-    report.finish();
+    minobs_bench::cli::require_artifact(report.finish());
     println!(
         "\nThe classic 'f omissions ⇒ f+1 rounds' result, recovered as a one-line\n\
          corollary of the omission-scheme framework: Γ^(k+1) ⊄ Pref(B_k)."

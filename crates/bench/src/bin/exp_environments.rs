@@ -28,6 +28,11 @@ fn measured_worst_rounds(scheme: &ClassicScheme, p: usize, w0: &GammaWord) -> us
 }
 
 fn main() {
+    minobs_bench::cli::handle_common_flags(
+        "exp_environments",
+        "solvability across omission environments",
+        "exp_environments",
+    );
     println!("== TAB-ENV: the seven fault environments (Sections II-A2, IV-A) ==\n");
     let mut report = Report::new(
         "environments",
@@ -93,7 +98,7 @@ fn main() {
             &horizon,
         ]);
     }
-    report.finish();
+    minobs_bench::cli::require_artifact(report.finish());
 
     println!("\nPaper: envs 1-5 solvable (1,1,1,2,2 rounds); envs 6-7 obstructions. All reproduced.");
 }

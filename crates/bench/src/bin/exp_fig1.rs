@@ -7,6 +7,11 @@ use minobs_core::index::{ind, ind_inv};
 use minobs_core::word::GammaWord;
 
 fn main() {
+    minobs_bench::cli::handle_common_flags(
+        "exp_fig1",
+        "Figure 1 index table and bijectivity audit",
+        "exp_fig1",
+    );
     println!("== FIG1: ind(w) for all w ∈ Γ^r, r ≤ 2 (paper Figure 1) ==\n");
     let mut report = Report::new("fig1", &["word", "length", "ind"]);
     for r in 1..=2usize {
@@ -18,7 +23,7 @@ fn main() {
             report.row(&[&word, &r, &value]);
         }
     }
-    report.finish();
+    minobs_bench::cli::require_artifact(report.finish());
 
     println!("\nBijectivity audit (Lemma III.2): ind is a bijection Γ^r → [0, 3^r - 1]");
     let mut audit = Report::new("fig1_bijectivity", &["r", "words", "distinct indexes", "max index", "3^r - 1", "roundtrip ok"]);
@@ -41,5 +46,5 @@ fn main() {
         assert_eq!(max, expect, "surjective onto the range");
         assert!(roundtrip);
     }
-    audit.finish();
+    minobs_bench::cli::require_artifact(audit.finish());
 }

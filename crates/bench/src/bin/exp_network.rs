@@ -76,6 +76,11 @@ fn flood_under_cut(g: &Graph, recorder: &mut dyn Recorder) -> (bool, bool) {
 }
 
 fn main() {
+    minobs_bench::cli::handle_common_flags(
+        "exp_network",
+        "network consensus under adversaries, with tracing",
+        "exp_network",
+    );
     println!("== TAB-V1: consensus on G iff f < c(G) (Theorem V.1) ==\n");
     // MINOBS_TRACE=1 (or =<path>) streams every engine run in this binary
     // as JSONL; the artifact's meta block points at the file.
@@ -131,7 +136,7 @@ fn main() {
     if let Some(path) = &trace_path {
         report.note_trace(path);
     }
-    report.finish();
+    minobs_bench::cli::require_artifact(report.finish());
 
     println!(
         "\nEvery family: flooding succeeds for f < c(G) (random O_f, 5 seeds) and both\n\
@@ -197,7 +202,7 @@ fn main() {
     if let Some(path) = &trace_path {
         rounds.note_trace(path);
     }
-    rounds.finish();
+    minobs_bench::cli::require_artifact(rounds.finish());
     if let Some((sink, path)) = trace.take() {
         let lines = sink.lines();
         drop(sink);

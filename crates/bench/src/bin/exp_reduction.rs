@@ -34,6 +34,11 @@ fn split(
 }
 
 fn main() {
+    minobs_bench::cli::handle_common_flags(
+        "exp_reduction",
+        "two-process/network reduction audit",
+        "exp_reduction",
+    );
     println!("== TAB-RED: emulation equivalence (Algorithms 2-3) ==\n");
     let mut report = Report::new(
         "reduction",
@@ -76,7 +81,7 @@ fn main() {
             report.row(&[name, &v, &net.stats.rounds, &two.rounds, &mark(equal)]);
         }
     }
-    report.finish();
+    minobs_bench::cli::require_artifact(report.finish());
 
     println!("\n== Algorithm 4 (A_L) on solvable sub-schemes of Γ_C^ω ==\n");
     let mut al = Report::new(
@@ -96,7 +101,7 @@ fn main() {
             al.row(&[name, &v, &format!("{:?}", out.verdict), &out.stats.rounds]);
         }
     }
-    al.finish();
+    minobs_bench::cli::require_artifact(al.finish());
     println!(
         "\nEmulation decisions match the network run on every (graph, scenario);\n\
          A_L reaches consensus on every solvable-sub-scheme scenario."

@@ -13,6 +13,11 @@ use minobs_core::theorem::min_excluded_prefix;
 use minobs_synth::checker::{first_solvable_horizon, gamma_alphabet, solvable_by};
 
 fn main() {
+    minobs_bench::cli::handle_common_flags(
+        "exp_round_lb",
+        "round lower-bound table",
+        "exp_round_lb",
+    );
     println!("== TAB-LB: tight round complexity for AvoidPrefix schemes ==\n");
     let mut report = Report::new(
         "round_lb",
@@ -70,6 +75,6 @@ fn main() {
         assert!(worst <= p, "{w0_text}: capped A_w stays within p");
         report.row(&[&w0_text, &p, &horizon, &below, &worst]);
     }
-    report.finish();
+    minobs_bench::cli::require_artifact(report.finish());
     println!("\np = checker horizon = measured worst rounds, for every swept prefix length.");
 }

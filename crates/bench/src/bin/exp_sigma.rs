@@ -20,6 +20,11 @@ use minobs_core::prelude::*;
 use minobs_synth::checker::{sigma_alphabet, solvable_by, CheckResult};
 
 fn main() {
+    minobs_bench::cli::handle_common_flags(
+        "exp_sigma",
+        "Σ-scheme solvability tables",
+        "exp_sigma",
+    );
     println!("== TAB-SIGMA: double omission, explored with the model checker ==\n");
     let sigma = sigma_alphabet();
 
@@ -57,7 +62,7 @@ fn main() {
             &chain_len,
         ]);
     }
-    avoid.finish();
+    minobs_bench::cli::require_artifact(avoid.finish());
 
     println!("\nΣB_k — at most k lossy rounds, double omission allowed:");
     let mut budget = Report::new(
@@ -71,7 +76,7 @@ fn main() {
         assert!(!at_k && at_k1, "k={k}");
         budget.row(&[&k, &mark(at_k), &mark(at_k1), &mark(!at_k && at_k1)]);
     }
-    budget.finish();
+    minobs_bench::cli::require_artifact(budget.finish());
 
     println!("\nΣω minus finitely many scenarios — never helps at bounded horizons:");
     let mut minus = Report::new("sigma_minus", &["excluded", "horizons 0..=3 all unsolvable"]);
@@ -102,7 +107,7 @@ fn main() {
         let names: Vec<String> = excluded.iter().map(|s| s.to_string()).collect();
         minus.row(&[&names.join(", "), &mark(all_unsolvable)]);
     }
-    minus.finish();
+    minobs_bench::cli::require_artifact(minus.finish());
 
     println!(
         "\nSection VI's open question, bounded: one excluded prefix is enough to cut\n\

@@ -12,6 +12,11 @@ use minobs_core::spair::{classify_pair, SPairVerdict};
 use minobs_core::theorem::decide_gamma;
 
 fn main() {
+    minobs_bench::cli::handle_common_flags(
+        "exp_spair",
+        "special-pair tables and Theorem III.8 verdicts",
+        "exp_spair",
+    );
     println!("== TAB-SPAIR: the bipartite (matching) structure of special pairs ==\n");
     let mut report = Report::new(
         "spair_graph",
@@ -37,7 +42,7 @@ fn main() {
         ]);
         assert!(g.is_matching());
     }
-    report.finish();
+    minobs_bench::cli::require_artifact(report.finish());
 
     println!("\nPair verdict samples (decision procedure with reasons):");
     let mut verdicts = Report::new("spair_verdicts", &["w", "w'", "verdict"]);
@@ -63,7 +68,7 @@ fn main() {
         };
         verdicts.row(&[&a, &b, &text]);
     }
-    verdicts.finish();
+    minobs_bench::cli::require_artifact(verdicts.finish());
 
     println!("\nMinimal obstructions and the descending chain:");
     let mut minimality = Report::new("minimality", &["scheme", "verdict", "note"]);
@@ -80,7 +85,7 @@ fn main() {
             &format!("chain element L_{i}: strictly smaller, still an obstruction"),
         ]);
     }
-    minimality.finish();
+    minobs_bench::cli::require_artifact(minimality.finish());
 
     println!("\nLower/upper classification (parity rule) for a few unfair lassos:");
     for s in ["-(w)", "b(w)", "w(b)", "-(b)", "--(b)", "-w(b)", "(w)", "(b)"] {

@@ -15,6 +15,11 @@ fn describe(v: &Solvability) -> String {
 }
 
 fn main() {
+    minobs_bench::cli::handle_common_flags(
+        "exp_theorem_iii8",
+        "Theorem III.8 verdict table",
+        "exp_theorem_iii8",
+    );
     println!("== TAB-III8: the four conditions of Theorem III.8, scheme by scheme ==\n");
     let mut report = Report::new(
         "theorem_iii8",
@@ -82,6 +87,6 @@ fn main() {
             &mark(agrees),
         ]);
     }
-    report.finish();
+    minobs_bench::cli::require_artifact(report.finish());
     println!("\nSolvable ⇔ at least one condition holds; both engines agree on every row.");
 }

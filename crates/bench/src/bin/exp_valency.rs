@@ -18,6 +18,11 @@ fn show(v: &Valency) -> String {
 }
 
 fn main() {
+    minobs_bench::cli::handle_common_flags(
+        "exp_valency",
+        "valency analysis tables",
+        "exp_valency",
+    );
     println!("== TAB-VALENCY: valency maps under A_w (initial configuration I = (0, 1)) ==\n");
     let basis = default_extension_basis();
 
@@ -39,7 +44,7 @@ fn main() {
             }
         }
     }
-    report.finish();
+    minobs_bench::cli::require_artifact(report.finish());
 
     println!("\nDecisive prefixes (Definition III.10) for bounded schemes, via capped A_w:");
     let mut decisive = Report::new("decisive_prefixes", &["scheme", "p", "decisive prefix"]);
@@ -59,7 +64,7 @@ fn main() {
                 .unwrap_or_else(|| "none within depth".into()),
         ]);
     }
-    decisive.finish();
+    minobs_bench::cli::require_artifact(decisive.finish());
     println!(
         "\n('none within depth' for the 1-round schemes is correct: their minimal\n\
          excluded word is a constant-drop word, so the witness is a constant-tail\n\

@@ -8,13 +8,20 @@
 //!    events and per-round `round_end.dropped` counts both sum to the
 //!    `run_end` total — the trace-level face of the engines' message
 //!    conservation invariant;
-//! 3. the same holds for `sent` and `delivered`.
+//! 3. the same holds for `sent` and `delivered`;
+//! 4. service events pair up: every `svc_response` answers exactly one
+//!    earlier `svc_request` with the same `seq` and `method`, carries a
+//!    known cache disposition, and no request is left unanswered at the
+//!    end of the trace (the daemon drains before exiting). Service
+//!    events live outside runs — the daemon trace carries only them.
 //!
 //! Exits non-zero with a description of the first violation. CI runs this
-//! over the trace emitted by `exp_network` under `MINOBS_TRACE=1`.
+//! over the trace emitted by `exp_network` under `MINOBS_TRACE=1` and
+//! over the daemon trace from the `svc` job.
 
 use minobs_obs::SCHEMA;
 use serde_json::Value;
+use std::collections::HashMap;
 use std::process::ExitCode;
 
 #[derive(Debug, Default)]
@@ -37,6 +44,8 @@ fn lint(text: &str) -> Result<(usize, usize), String> {
     let mut runs_closed = 0usize;
     let mut lines_checked = 0usize;
     let mut current: Option<RunTally> = None;
+    // In-flight service requests: seq → method.
+    let mut pending_svc: HashMap<u64, String> = HashMap::new();
 
     for (idx, line) in text.lines().enumerate() {
         let line_no = idx + 1;
@@ -157,6 +166,45 @@ fn lint(text: &str) -> Result<(usize, usize), String> {
                     ));
                 }
             }
+            "svc_request" => {
+                let seq = field_u64(&value, "seq", line_no)?;
+                let method = value
+                    .get("method")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("line {line_no}: svc_request missing \"method\""))?;
+                if pending_svc.insert(seq, method.to_string()).is_some() {
+                    return Err(format!("line {line_no}: duplicate svc_request seq {seq}"));
+                }
+            }
+            "svc_response" => {
+                let seq = field_u64(&value, "seq", line_no)?;
+                let method = value
+                    .get("method")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("line {line_no}: svc_response missing \"method\""))?;
+                let requested = pending_svc.remove(&seq).ok_or_else(|| {
+                    format!("line {line_no}: svc_response seq {seq} without a matching svc_request")
+                })?;
+                if requested != method {
+                    return Err(format!(
+                        "line {line_no}: svc_response seq {seq} method {method:?} != request method {requested:?}"
+                    ));
+                }
+                value
+                    .get("ok")
+                    .and_then(Value::as_bool)
+                    .ok_or_else(|| format!("line {line_no}: svc_response missing boolean \"ok\""))?;
+                let cache = value
+                    .get("cache")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("line {line_no}: svc_response missing \"cache\""))?;
+                if !matches!(cache, "hit" | "miss" | "subsumed" | "none") {
+                    return Err(format!(
+                        "line {line_no}: svc_response cache {cache:?}, expected hit/miss/subsumed/none"
+                    ));
+                }
+                field_u64(&value, "nanos", line_no)?;
+            }
             // decision/span/checker_round/horizon need no cross-checks here.
             _ => {}
         }
@@ -164,11 +212,24 @@ fn lint(text: &str) -> Result<(usize, usize), String> {
     if current.is_some() {
         return Err("trace ends inside an open run (no final run_end)".to_string());
     }
+    if !pending_svc.is_empty() {
+        let mut seqs: Vec<u64> = pending_svc.keys().copied().collect();
+        seqs.sort_unstable();
+        return Err(format!(
+            "{} svc_request(s) never answered (seqs {seqs:?}) — the daemon drains before exiting",
+            seqs.len()
+        ));
+    }
     Ok((lines_checked, runs_closed))
 }
 
 fn main() -> ExitCode {
-    let Some(path) = std::env::args().nth(1) else {
+    let args = minobs_bench::cli::handle_common_flags(
+        "trace_lint",
+        "validates a minobs JSONL trace file",
+        "trace_lint <trace.jsonl>",
+    );
+    let Some(path) = args.first().cloned() else {
         eprintln!("usage: trace_lint <trace.jsonl>");
         return ExitCode::FAILURE;
     };
@@ -212,7 +273,7 @@ mod tests {
             r#"{"schema":"SCHEMA","event":"round_end","round":0,"sent":2,"delivered":1,"dropped":1,"misaddressed":0,"nanos":0}"#,
             r#"{"schema":"SCHEMA","event":"run_end","round":1,"sent":2,"delivered":1,"dropped":1,"misaddressed":0,"nanos":0}"#,
         ]
-        .map(|s| line(s))
+        .map(line)
         .join("\n");
         assert_eq!(lint(&text), Ok((5, 1)));
     }
@@ -224,7 +285,7 @@ mod tests {
             r#"{"schema":"SCHEMA","event":"round_end","round":0,"sent":2,"delivered":1,"dropped":1,"misaddressed":0,"nanos":0}"#,
             r#"{"schema":"SCHEMA","event":"run_end","round":1,"sent":2,"delivered":1,"dropped":1,"misaddressed":0,"nanos":0}"#,
         ]
-        .map(|s| line(s))
+        .map(line)
         .join("\n");
         // round_end claims a drop but no dropped message event exists.
         let err = lint(&text).unwrap_err();
@@ -248,7 +309,7 @@ mod tests {
             r#"{"schema":"SCHEMA","event":"run_end","round":1,"sent":0,"delivered":0,"dropped":0,"misaddressed":0,"nanos":0}"#,
             r#"{"schema":"SCHEMA","event":"budget_exhausted","round":2,"frontier":9,"states":40}"#,
         ]
-        .map(|s| line(s))
+        .map(line)
         .join("\n");
         assert_eq!(lint(&ok), Ok((5, 1)));
 
@@ -261,13 +322,60 @@ mod tests {
             r#"{"schema":"SCHEMA","event":"run_start","round":0,"engine":"network_parallel","nodes":2,"threads":2}"#,
             r#"{"schema":"SCHEMA","event":"engine_degraded","round":0,"phase":"warp","shard":0}"#,
         ]
-        .map(|s| line(s))
+        .map(line)
         .join("\n");
         assert!(lint(&bad_phase).unwrap_err().contains("phase"));
 
         let bad_budget =
             line(r#"{"schema":"SCHEMA","event":"budget_exhausted","round":1,"frontier":50,"states":10}"#);
         assert!(lint(&bad_budget).unwrap_err().contains("frontier"));
+    }
+
+    #[test]
+    fn validates_svc_event_pairing() {
+        let ok = [
+            r#"{"schema":"SCHEMA","event":"svc_request","round":0,"seq":0,"method":"check_horizon"}"#,
+            r#"{"schema":"SCHEMA","event":"svc_request","round":0,"seq":1,"method":"stats"}"#,
+            r#"{"schema":"SCHEMA","event":"svc_response","round":0,"seq":1,"method":"stats","ok":true,"cache":"none","nanos":120}"#,
+            r#"{"schema":"SCHEMA","event":"svc_response","round":0,"seq":0,"method":"check_horizon","ok":true,"cache":"subsumed","nanos":950}"#,
+        ]
+        .map(line)
+        .join("\n");
+        assert_eq!(lint(&ok), Ok((4, 0)));
+
+        let unanswered = line(
+            r#"{"schema":"SCHEMA","event":"svc_request","round":0,"seq":7,"method":"stats"}"#,
+        );
+        assert!(lint(&unanswered).unwrap_err().contains("never answered"));
+
+        let orphan = line(
+            r#"{"schema":"SCHEMA","event":"svc_response","round":0,"seq":7,"method":"stats","ok":true,"cache":"none","nanos":1}"#,
+        );
+        assert!(lint(&orphan).unwrap_err().contains("matching svc_request"));
+
+        let method_mismatch = [
+            r#"{"schema":"SCHEMA","event":"svc_request","round":0,"seq":2,"method":"stats"}"#,
+            r#"{"schema":"SCHEMA","event":"svc_response","round":0,"seq":2,"method":"solvable","ok":true,"cache":"hit","nanos":1}"#,
+        ]
+        .map(line)
+        .join("\n");
+        assert!(lint(&method_mismatch).unwrap_err().contains("method"));
+
+        let bad_cache = [
+            r#"{"schema":"SCHEMA","event":"svc_request","round":0,"seq":3,"method":"stats"}"#,
+            r#"{"schema":"SCHEMA","event":"svc_response","round":0,"seq":3,"method":"stats","ok":true,"cache":"warm","nanos":1}"#,
+        ]
+        .map(line)
+        .join("\n");
+        assert!(lint(&bad_cache).unwrap_err().contains("cache"));
+
+        let dup_seq = [
+            r#"{"schema":"SCHEMA","event":"svc_request","round":0,"seq":4,"method":"stats"}"#,
+            r#"{"schema":"SCHEMA","event":"svc_request","round":0,"seq":4,"method":"stats"}"#,
+        ]
+        .map(line)
+        .join("\n");
+        assert!(lint(&dup_seq).unwrap_err().contains("duplicate"));
     }
 
     #[test]

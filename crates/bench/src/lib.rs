@@ -8,6 +8,8 @@
 //! out. Structured JSONL tracing for any experiment binary is switched on
 //! with `MINOBS_TRACE` (see docs/OBSERVABILITY.md).
 
+pub mod cli;
+
 use minobs_obs::{trace_path_from_env, JsonlSink};
 use serde_json::{Map, Value};
 use std::fmt::Display;

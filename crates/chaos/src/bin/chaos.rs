@@ -8,9 +8,12 @@
 //! `fuzz` runs a seeded campaign. On violations it writes one shrunk
 //! reproducer JSON (plus a `minobs/trace/v1` trace sibling) per
 //! violating run into `--out` (default `target/chaos`). Exit code 0
-//! means "expected outcome": no violations normally, at least one in
-//! `--over-budget` mode. The seed can also come from the
-//! `MINOBS_CHAOS_SEED` environment variable (the flag wins).
+//! means "expected outcome": no violations normally; in `--over-budget`
+//! mode at least one violation, **all** of kind `budget_exceeded` — a
+//! consensus-invariant violation (agreement, validity, termination,
+//! conservation) is never an expected outcome and always exits
+//! non-zero. The seed can also come from the `MINOBS_CHAOS_SEED`
+//! environment variable (the flag wins).
 //!
 //! `replay` re-runs previously saved artifacts and exits non-zero if
 //! any no longer reproduces its recorded violation.
@@ -103,8 +106,15 @@ fn fuzz(args: &[String]) -> ExitCode {
             }
         }
     }
+    // Invariant violations (anything but the budget contract breach the
+    // over-budget mode exists to provoke) must always fail the run.
+    let invariant_violations = report
+        .reproducers
+        .iter()
+        .filter(|rep| rep.violation != "budget_exceeded")
+        .count();
     let expected = if over_budget {
-        report.violating_runs > 0
+        report.violating_runs > 0 && invariant_violations == 0
     } else {
         report.violating_runs == 0
     };
@@ -112,7 +122,7 @@ fn fuzz(args: &[String]) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         eprintln!(
-            "chaos fuzz: unexpected outcome (over_budget={over_budget}, violations={})",
+            "chaos fuzz: unexpected outcome (over_budget={over_budget}, violations={}, invariant violations={invariant_violations})",
             report.violating_runs
         );
         ExitCode::FAILURE
@@ -165,7 +175,11 @@ fn replay_files(paths: &[String]) -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args = minobs_bench::cli::handle_common_flags(
+        "chaos",
+        "seeded adversary fuzzing with counterexample shrinking",
+        "chaos fuzz --graph <k2|c4|h3> [--seed N] [--runs N] [--over-budget] [--out DIR]\n  chaos replay <artifact.json>...",
+    );
     match args.first().map(String::as_str) {
         Some("fuzz") => fuzz(&args[1..]),
         Some("replay") => replay_files(&args[1..]),

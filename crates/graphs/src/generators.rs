@@ -202,12 +202,205 @@ pub fn random_regular<R: Rng>(n: usize, d: usize, rng: &mut R) -> Graph {
     panic!("could not sample a simple {d}-regular graph on {n} vertices");
 }
 
+/// Builds a graph from a textual family description, e.g. `"torus(3,4)"`,
+/// `"petersen"`, or the short forms `"k5"` / `"c6"` / `"q3"` the chaos
+/// harness and experiment tables use.
+///
+/// Grammar: `name` or `name(arg, ...)` with unsigned decimal arguments.
+/// Deterministic families only — the random generators need an RNG and a
+/// seed, which a flat description string cannot carry faithfully.
+///
+/// | description | graph |
+/// |-------------|-------|
+/// | `complete(n)`, `k<n>` | `K_n` |
+/// | `cycle(n)`, `c<n>` | `C_n` (n ≥ 3) |
+/// | `path(n)` | `P_n` (n ≥ 2) |
+/// | `star(n)` | `K_{1,n-1}` (n ≥ 2) |
+/// | `grid(r,c)` | r×c grid |
+/// | `torus(r,c)` | r×c torus (both ≥ 3) |
+/// | `hypercube(d)`, `q<d>`, `h<d>` | `Q_d` (d ≤ 20) |
+/// | `complete_bipartite(a,b)` | `K_{a,b}` |
+/// | `barbell(m,bridges)` | two `K_m` + bridges (1 ≤ bridges ≤ m) |
+/// | `theta(paths,inner)` | theta graph (paths ≥ 2, inner ≥ 1) |
+/// | `petersen` | the Petersen graph |
+///
+/// Errors (instead of panicking) on unknown names, wrong arity, and
+/// out-of-range sizes, so a network service can reject bad requests.
+pub fn parse(spec: &str) -> Result<Graph, String> {
+    let spec = spec.trim();
+    let (name, args) = match spec.find('(') {
+        Some(open) => {
+            let Some(inner) = spec[open + 1..].strip_suffix(')') else {
+                return Err(format!("unbalanced parentheses in {spec:?}"));
+            };
+            let args = if inner.trim().is_empty() {
+                Vec::new()
+            } else {
+                inner
+                    .split(',')
+                    .map(|a| {
+                        a.trim()
+                            .parse::<usize>()
+                            .map_err(|_| format!("bad argument {:?} in {spec:?}", a.trim()))
+                    })
+                    .collect::<Result<Vec<usize>, String>>()?
+            };
+            (&spec[..open], args)
+        }
+        None => (spec, Vec::new()),
+    };
+    let name = name.trim().to_ascii_lowercase();
+
+    // Short forms: a single family letter fused with its one argument.
+    if args.is_empty() && name.len() > 1 {
+        if let Ok(n) = name[1..].parse::<usize>() {
+            match &name[..1] {
+                "k" => return parse(&format!("complete({n})")),
+                "c" => return parse(&format!("cycle({n})")),
+                "q" | "h" => return parse(&format!("hypercube({n})")),
+                _ => {}
+            }
+        }
+    }
+
+    let arity = |want: usize| -> Result<(), String> {
+        if args.len() == want {
+            Ok(())
+        } else {
+            Err(format!(
+                "{name} takes {want} argument(s), got {}",
+                args.len()
+            ))
+        }
+    };
+    let graph = match name.as_str() {
+        "complete" => {
+            arity(1)?;
+            complete(args[0])
+        }
+        "cycle" => {
+            arity(1)?;
+            if args[0] < 3 {
+                return Err("cycle needs n ≥ 3".to_string());
+            }
+            cycle(args[0])
+        }
+        "path" => {
+            arity(1)?;
+            if args[0] < 2 {
+                return Err("path needs n ≥ 2".to_string());
+            }
+            path(args[0])
+        }
+        "star" => {
+            arity(1)?;
+            if args[0] < 2 {
+                return Err("star needs n ≥ 2".to_string());
+            }
+            star(args[0])
+        }
+        "grid" => {
+            arity(2)?;
+            if args[0] < 1 || args[1] < 1 {
+                return Err("grid needs ≥ 1 per dimension".to_string());
+            }
+            grid(args[0], args[1])
+        }
+        "torus" => {
+            arity(2)?;
+            if args[0] < 3 || args[1] < 3 {
+                return Err("torus needs ≥ 3 per dimension".to_string());
+            }
+            torus(args[0], args[1])
+        }
+        "hypercube" => {
+            arity(1)?;
+            if args[0] > 20 {
+                return Err("hypercube dimension capped at 20".to_string());
+            }
+            hypercube(args[0] as u32)
+        }
+        "complete_bipartite" => {
+            arity(2)?;
+            complete_bipartite(args[0], args[1])
+        }
+        "barbell" => {
+            arity(2)?;
+            if args[0] < 2 {
+                return Err("barbell cliques need ≥ 2 vertices".to_string());
+            }
+            if args[1] < 1 || args[1] > args[0] {
+                return Err("barbell needs 1 ≤ bridges ≤ m".to_string());
+            }
+            barbell(args[0], args[1])
+        }
+        "theta" => {
+            arity(2)?;
+            if args[0] < 2 || args[1] < 1 {
+                return Err("theta needs paths ≥ 2 and inner ≥ 1".to_string());
+            }
+            theta(args[0], args[1])
+        }
+        "petersen" => {
+            arity(0)?;
+            petersen()
+        }
+        _ => return Err(format!("unknown graph family {name:?}")),
+    };
+    Ok(graph)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::connectivity::{is_connected, min_degree};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn parse_covers_every_deterministic_family() {
+        for (spec, nodes, edges) in [
+            ("complete(4)", 4, 6),
+            ("k4", 4, 6),
+            (" K4 ", 4, 6),
+            ("cycle(5)", 5, 5),
+            ("c5", 5, 5),
+            ("path(3)", 3, 2),
+            ("star(4)", 4, 3),
+            ("grid(2,3)", 6, 7),
+            ("torus(3, 3)", 9, 18),
+            ("hypercube(3)", 8, 12),
+            ("q3", 8, 12),
+            ("h3", 8, 12),
+            ("complete_bipartite(2,3)", 5, 6),
+            ("barbell(3,2)", 6, 8),
+            ("theta(2,1)", 4, 4),
+            ("petersen", 10, 15),
+            ("petersen()", 10, 15),
+        ] {
+            let g = parse(spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert_eq!(g.vertex_count(), nodes, "{spec}");
+            assert_eq!(g.edge_count(), edges, "{spec}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_descriptions() {
+        for bad in [
+            "mobius(4)",
+            "cycle(2)",
+            "cycle(3",
+            "cycle(x)",
+            "torus(2,3)",
+            "grid(3)",
+            "barbell(3,4)",
+            "petersen(1)",
+            "hypercube(64)",
+            "",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
 
     #[test]
     fn complete_counts() {

@@ -161,6 +161,29 @@ pub enum TraceEvent {
         /// Wall-clock nanoseconds for the run (0 when timing is off).
         nanos: u64,
     },
+    /// The solvability service accepted a request. `round` is always 0;
+    /// `seq` is the daemon-wide accept sequence number, unique per
+    /// request and echoed by the matching [`TraceEvent::SvcResponse`].
+    SvcRequest {
+        /// Daemon-wide accept sequence number.
+        seq: u64,
+        /// RPC method name, e.g. `"check_horizon"`.
+        method: String,
+    },
+    /// The solvability service finished a request. `round` is always 0.
+    SvcResponse {
+        /// Accept sequence number of the request being answered.
+        seq: u64,
+        /// RPC method name, echoed from the request.
+        method: String,
+        /// Whether the request succeeded (an RPC-level error is `false`).
+        ok: bool,
+        /// Verdict-cache disposition: `"hit"`, `"miss"`, `"subsumed"`,
+        /// or `"none"` for methods that bypass the cache.
+        cache: &'static str,
+        /// Wall-clock nanoseconds from dequeue to response.
+        nanos: u64,
+    },
 }
 
 impl TraceEvent {
@@ -177,6 +200,8 @@ impl TraceEvent {
             TraceEvent::EngineDegraded { .. } => "engine_degraded",
             TraceEvent::BudgetExhausted { .. } => "budget_exhausted",
             TraceEvent::RunEnd { .. } => "run_end",
+            TraceEvent::SvcRequest { .. } => "svc_request",
+            TraceEvent::SvcResponse { .. } => "svc_response",
         }
     }
 
@@ -184,7 +209,9 @@ impl TraceEvent {
     /// total `rounds` for run ends).
     pub fn round(&self) -> usize {
         match *self {
-            TraceEvent::RunStart { .. } => 0,
+            TraceEvent::RunStart { .. }
+            | TraceEvent::SvcRequest { .. }
+            | TraceEvent::SvcResponse { .. } => 0,
             TraceEvent::Message { round, .. }
             | TraceEvent::Decision { round, .. }
             | TraceEvent::RoundEnd { round, .. }
@@ -266,6 +293,23 @@ impl TraceEvent {
                 insert_counts(&mut map, *totals);
                 map.insert("nanos".to_string(), Value::from(*nanos));
             }
+            TraceEvent::SvcRequest { seq, method } => {
+                map.insert("seq".to_string(), Value::from(*seq));
+                map.insert("method".to_string(), Value::from(method.as_str()));
+            }
+            TraceEvent::SvcResponse {
+                seq,
+                method,
+                ok,
+                cache,
+                nanos,
+            } => {
+                map.insert("seq".to_string(), Value::from(*seq));
+                map.insert("method".to_string(), Value::from(method.as_str()));
+                map.insert("ok".to_string(), Value::from(*ok));
+                map.insert("cache".to_string(), Value::from(*cache));
+                map.insert("nanos".to_string(), Value::from(*nanos));
+            }
         }
         Value::Object(map)
     }
@@ -344,6 +388,17 @@ mod tests {
                 rounds: 4,
                 totals: RoundCounts::default(),
                 nanos: 99,
+            },
+            TraceEvent::SvcRequest {
+                seq: 17,
+                method: "check_horizon".to_string(),
+            },
+            TraceEvent::SvcResponse {
+                seq: 17,
+                method: "check_horizon".to_string(),
+                ok: true,
+                cache: "subsumed",
+                nanos: 42,
             },
         ];
         for event in &events {

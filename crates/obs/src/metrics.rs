@@ -240,6 +240,13 @@ impl MetricsRegistry {
 /// | `checker.round_latency_ns` | histogram | `checker_round` nanos (when timed) |
 /// | `checker.horizons` | counter | every `horizon` |
 /// | `checker.horizon_latency_ns` | histogram | `horizon` nanos (when timed) |
+/// | `svc.requests` | counter | every `svc_request` |
+/// | `svc.responses_{ok,err}` | counter | every `svc_response` by outcome |
+/// | `svc.request_latency_ns` | histogram | `svc_response` nanos (when timed) |
+///
+/// The service's verdict cache feeds `svc.cache_{hits,misses,subsumptions}`
+/// counters directly (not through the event stream) so the totals stay
+/// exact even when several recorders share one registry.
 pub struct MetricsRecorder {
     registry: Arc<MetricsRegistry>,
     rounds: Arc<Counter>,
@@ -255,6 +262,10 @@ pub struct MetricsRecorder {
     checker_round_latency: Arc<Histogram>,
     horizons: Arc<Counter>,
     horizon_latency: Arc<Histogram>,
+    svc_requests: Arc<Counter>,
+    svc_responses_ok: Arc<Counter>,
+    svc_responses_err: Arc<Counter>,
+    svc_request_latency: Arc<Histogram>,
 }
 
 impl MetricsRecorder {
@@ -276,6 +287,10 @@ impl MetricsRecorder {
             checker_round_latency: registry.histogram("checker.round_latency_ns", &latency),
             horizons: registry.counter("checker.horizons"),
             horizon_latency: registry.histogram("checker.horizon_latency_ns", &latency),
+            svc_requests: registry.counter("svc.requests"),
+            svc_responses_ok: registry.counter("svc.responses_ok"),
+            svc_responses_err: registry.counter("svc.responses_err"),
+            svc_request_latency: registry.histogram("svc.request_latency_ns", &latency),
             registry,
         }
     }
@@ -324,6 +339,21 @@ impl Recorder for MetricsRecorder {
 
     fn on_run_end(&mut self, _rounds: usize, _totals: RoundCounts, _nanos: u64) {
         self.runs.inc();
+    }
+
+    fn on_svc_request(&mut self, _seq: u64, _method: &str) {
+        self.svc_requests.inc();
+    }
+
+    fn on_svc_response(&mut self, _seq: u64, _method: &str, ok: bool, _cache: &'static str, nanos: u64) {
+        if ok {
+            self.svc_responses_ok.inc();
+        } else {
+            self.svc_responses_err.inc();
+        }
+        if nanos > 0 {
+            self.svc_request_latency.observe(nanos);
+        }
     }
 }
 

@@ -132,6 +132,27 @@ pub trait Recorder {
             nanos,
         });
     }
+
+    /// The solvability service accepted request `seq` for `method`.
+    #[inline]
+    fn on_svc_request(&mut self, seq: u64, method: &str) {
+        self.record(TraceEvent::SvcRequest {
+            seq,
+            method: method.to_string(),
+        });
+    }
+
+    /// The solvability service answered request `seq`.
+    #[inline]
+    fn on_svc_response(&mut self, seq: u64, method: &str, ok: bool, cache: &'static str, nanos: u64) {
+        self.record(TraceEvent::SvcResponse {
+            seq,
+            method: method.to_string(),
+            ok,
+            cache,
+            nanos,
+        });
+    }
 }
 
 /// The do-nothing recorder: the default on every public entry point.
@@ -196,6 +217,8 @@ impl MemoryRecorder {
             TraceEvent::EngineDegraded { round, shard, .. } => (round, 8, shard, 0),
             TraceEvent::BudgetExhausted { horizon, .. } => (horizon, 9, 0, 0),
             TraceEvent::RunEnd { rounds, .. } => (rounds, 7, 0, 0),
+            TraceEvent::SvcRequest { seq, .. } => (0, 10, seq as usize, 0),
+            TraceEvent::SvcResponse { seq, .. } => (0, 10, seq as usize, 1),
         });
         events
     }

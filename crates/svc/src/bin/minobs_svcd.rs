@@ -1,0 +1,32 @@
+//! The solvability-query daemon.
+//!
+//! Binds `MINOBS_SVC_ADDR` (default `127.0.0.1:0`), prints the bound
+//! address, and serves until a `shutdown` request drains it. See
+//! `docs/SERVICE.md` for the protocol and environment reference.
+
+use minobs_svc::server::{serve, SvcConfig};
+use std::io::Write;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    minobs_bench::cli::handle_common_flags(
+        "minobs-svcd",
+        "solvability-query daemon (TCP, minobs/rpc/v1)",
+        "MINOBS_SVC_ADDR=127.0.0.1:7171 MINOBS_SVC_WORKERS=4 minobs-svcd",
+    );
+
+    let config = SvcConfig::from_env();
+    let server = match serve(config) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("minobs-svcd: cannot bind: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Flush so harnesses polling stdout see the address immediately.
+    println!("minobs-svcd listening on {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    server.join();
+    println!("minobs-svcd drained");
+    ExitCode::SUCCESS
+}

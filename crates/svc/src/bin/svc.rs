@@ -1,0 +1,248 @@
+//! Client CLI for the solvability-query daemon.
+//!
+//! ```text
+//! svc call <method> [params-json] [--addr HOST:PORT]
+//! svc bench [--addr HOST:PORT] [--threads N] [--requests M]
+//!           [--method NAME] [--params JSON]
+//! ```
+//!
+//! The address defaults to `MINOBS_SVC_ADDR`. `bench` is a closed-loop
+//! load generator: each thread opens its own connection and issues its
+//! requests back to back, then latencies are pooled for percentiles.
+//! The very first request is reported separately as the cold-cache
+//! latency, so a warm/cold comparison is one run's output.
+
+use minobs_svc::client::SvcClient;
+use serde_json::Value;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  svc call <method> [params-json] [--addr HOST:PORT]\n  svc bench [--addr HOST:PORT] [--threads N] [--requests M] [--method NAME] [--params JSON]"
+    );
+    ExitCode::FAILURE
+}
+
+fn env_addr() -> Option<String> {
+    std::env::var("MINOBS_SVC_ADDR")
+        .ok()
+        .filter(|a| !a.trim().is_empty())
+        .map(|a| a.trim().to_string())
+}
+
+fn main() -> ExitCode {
+    let args = minobs_bench::cli::handle_common_flags(
+        "svc",
+        "client and load generator for the solvability-query daemon",
+        "svc call stats | svc bench --threads 2 --requests 100",
+    );
+    match args.first().map(String::as_str) {
+        Some("call") => call(&args[1..]),
+        Some("bench") => bench(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn call(args: &[String]) -> ExitCode {
+    let mut addr = env_addr();
+    let mut method = None;
+    let mut params = Value::Null;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(a) => addr = Some(a.clone()),
+                None => return usage(),
+            },
+            text if method.is_none() => method = Some(text.to_string()),
+            text => match serde_json::from_str(text) {
+                Ok(value) => params = value,
+                Err(err) => {
+                    eprintln!("svc call: params are not JSON: {err:?}");
+                    return ExitCode::FAILURE;
+                }
+            },
+        }
+    }
+    let Some(method) = method else {
+        return usage();
+    };
+    let Some(addr) = addr else {
+        eprintln!("svc call: no address (pass --addr or set MINOBS_SVC_ADDR)");
+        return ExitCode::FAILURE;
+    };
+    let mut client = match SvcClient::connect(addr.as_str()) {
+        Ok(client) => client,
+        Err(err) => {
+            eprintln!("svc call: cannot connect to {addr}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match client.call(&method, params) {
+        Ok(result) => {
+            let text = serde_json::to_string_pretty(&result)
+                .unwrap_or_else(|err| format!("<unprintable result: {err:?}>"));
+            println!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("svc call: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct ThreadOutcome {
+    latencies_ns: Vec<u64>,
+    errors: usize,
+}
+
+fn bench(args: &[String]) -> ExitCode {
+    let mut addr = env_addr();
+    let mut threads = 2usize;
+    let mut requests = 50usize;
+    let mut method = "check_horizon".to_string();
+    let mut params_text = r#"{"scheme":"s1","horizon":6}"#.to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(a) => addr = Some(a.clone()),
+                None => return usage(),
+            },
+            "--threads" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => threads = n,
+                _ => return usage(),
+            },
+            "--requests" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => requests = n,
+                _ => return usage(),
+            },
+            "--method" => match it.next() {
+                Some(m) => method = m.clone(),
+                None => return usage(),
+            },
+            "--params" => match it.next() {
+                Some(p) => params_text = p.clone(),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("svc bench: no address (pass --addr or set MINOBS_SVC_ADDR)");
+        return ExitCode::FAILURE;
+    };
+    let params: Value = match serde_json::from_str(&params_text) {
+        Ok(value) => value,
+        Err(err) => {
+            eprintln!("svc bench: params are not JSON: {err:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // One cold probe first, on its own connection, so the cache-warming
+    // request is measured separately from the closed-loop phase.
+    let cold_ns = {
+        let mut client = match SvcClient::connect(addr.as_str()) {
+            Ok(client) => client,
+            Err(err) => {
+                eprintln!("svc bench: cannot connect to {addr}: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let start = Instant::now();
+        if let Err(err) = client.call(&method, params.clone()) {
+            eprintln!("svc bench: cold request failed: {err}");
+            return ExitCode::FAILURE;
+        }
+        start.elapsed().as_nanos() as u64
+    };
+
+    let started = Instant::now();
+    let outcomes: Vec<ThreadOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let addr = addr.clone();
+                let method = method.clone();
+                let params = params.clone();
+                scope.spawn(move || run_thread(&addr, &method, &params, requests))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut latencies: Vec<u64> = outcomes
+        .iter()
+        .flat_map(|o| o.latencies_ns.iter().copied())
+        .collect();
+    let errors: usize = outcomes.iter().map(|o| o.errors).sum();
+    latencies.sort_unstable();
+    let ok = latencies.len();
+    let throughput = ok as f64 / elapsed.as_secs_f64().max(1e-9);
+
+    println!(
+        "svc bench: {threads} threads × {requests} requests of {method} against {addr}"
+    );
+    println!(
+        "  {ok} ok, {errors} err in {:.3}s → {throughput:.1} req/s",
+        elapsed.as_secs_f64()
+    );
+    if ok > 0 {
+        println!(
+            "  warm latency µs: p50 {} p90 {} p99 {} max {}",
+            percentile(&latencies, 50) / 1_000,
+            percentile(&latencies, 90) / 1_000,
+            percentile(&latencies, 99) / 1_000,
+            latencies[ok - 1] / 1_000
+        );
+        let warm_mean = latencies.iter().sum::<u64>() / ok as u64;
+        println!(
+            "  cold first request: {} µs ({:.1}× warm mean)",
+            cold_ns / 1_000,
+            cold_ns as f64 / warm_mean.max(1) as f64
+        );
+    }
+    if errors == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_thread(addr: &str, method: &str, params: &Value, requests: usize) -> ThreadOutcome {
+    let mut outcome = ThreadOutcome {
+        latencies_ns: Vec::with_capacity(requests),
+        errors: 0,
+    };
+    let mut client = match SvcClient::connect(addr) {
+        Ok(client) => client,
+        Err(err) => {
+            eprintln!("svc bench: connect failed: {err}");
+            outcome.errors = requests;
+            return outcome;
+        }
+    };
+    for _ in 0..requests {
+        let start = Instant::now();
+        match client.call(method, params.clone()) {
+            Ok(_) => outcome.latencies_ns.push(start.elapsed().as_nanos() as u64),
+            Err(err) => {
+                eprintln!("svc bench: request failed: {err}");
+                outcome.errors += 1;
+            }
+        }
+    }
+    outcome
+}
+
+/// Nearest-rank percentile over sorted data.
+fn percentile(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p * sorted.len()).div_ceil(100).max(1);
+    sorted[rank.min(sorted.len()) - 1]
+}

@@ -1,0 +1,147 @@
+//! A blocking client for the daemon's wire protocol.
+//!
+//! One [`SvcClient`] owns one TCP connection; calls are synchronous and
+//! the daemon answers a connection's requests in order, so a client is
+//! safe to use from one thread at a time (clone-per-thread for load).
+
+use crate::wire::{self, FrameError, RPC_VERSION};
+use serde_json::Value;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Why a call failed.
+#[derive(Debug)]
+pub enum SvcError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The daemon answered with something that is not a valid response.
+    Protocol(String),
+    /// The daemon answered with a method-level error.
+    Rpc {
+        /// Stable machine-readable code.
+        code: String,
+        /// Human-readable explanation.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for SvcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SvcError::Io(e) => write!(f, "i/o error: {e}"),
+            SvcError::Protocol(m) => write!(f, "protocol error: {m}"),
+            SvcError::Rpc { code, message } => write!(f, "rpc error [{code}]: {message}"),
+        }
+    }
+}
+
+impl From<io::Error> for SvcError {
+    fn from(e: io::Error) -> SvcError {
+        SvcError::Io(e)
+    }
+}
+
+impl From<FrameError> for SvcError {
+    fn from(e: FrameError) -> SvcError {
+        match e {
+            FrameError::Io(e) => SvcError::Io(e),
+            other => SvcError::Protocol(other.to_string()),
+        }
+    }
+}
+
+/// A connected client.
+pub struct SvcClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+}
+
+impl SvcClient {
+    /// Connects to a daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<SvcClient, SvcError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(SvcClient {
+            reader,
+            writer: BufWriter::new(stream),
+            next_id: 1,
+        })
+    }
+
+    /// Sets a read timeout for responses; `None` blocks forever.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), SvcError> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Calls `method` and returns the `result` payload.
+    pub fn call(&mut self, method: &str, params: Value) -> Result<Value, SvcError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        wire::write_frame(&mut self.writer, &wire::request(id, method, params))?;
+        self.writer.flush()?;
+        let response = wire::read_frame(&mut self.reader)?
+            .ok_or_else(|| SvcError::Protocol("connection closed before a response".into()))?;
+        decode_response(&response, id)
+    }
+}
+
+fn decode_response(response: &Value, id: u64) -> Result<Value, SvcError> {
+    let rpc = response.get("rpc").and_then(Value::as_str);
+    if rpc != Some(RPC_VERSION) {
+        return Err(SvcError::Protocol(format!(
+            "unexpected rpc version {rpc:?}"
+        )));
+    }
+    let got = response.get("id").and_then(Value::as_u64);
+    if got != Some(id) {
+        return Err(SvcError::Protocol(format!(
+            "response id {got:?} does not match request id {id}"
+        )));
+    }
+    match response.get("ok").and_then(Value::as_bool) {
+        Some(true) => Ok(response.get("result").cloned().unwrap_or(Value::Null)),
+        Some(false) => {
+            let error = response.get("error");
+            let code = error
+                .and_then(|e| e.get("code"))
+                .and_then(Value::as_str)
+                .unwrap_or("unknown")
+                .to_string();
+            let message = error
+                .and_then(|e| e.get("message"))
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string();
+            Err(SvcError::Rpc { code, message })
+        }
+        None => Err(SvcError::Protocol("response missing \"ok\"".into())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{err_response, ok_response};
+
+    #[test]
+    fn responses_decode() {
+        let ok = ok_response(4, Value::from(7u64));
+        assert_eq!(decode_response(&ok, 4).unwrap(), Value::from(7u64));
+        assert!(matches!(
+            decode_response(&ok, 5),
+            Err(SvcError::Protocol(_))
+        ));
+        let err = err_response(4, "bad_params", "nope");
+        match decode_response(&err, 4) {
+            Err(SvcError::Rpc { code, message }) => {
+                assert_eq!(code, "bad_params");
+                assert_eq!(message, "nope");
+            }
+            other => panic!("expected rpc error, got {other:?}"),
+        }
+    }
+}

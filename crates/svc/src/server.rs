@@ -1,0 +1,434 @@
+//! The daemon: a TCP acceptor feeding a crossbeam-channel worker pool.
+//!
+//! Each accepted connection gets its own thread that reassembles frames
+//! (`wire::try_parse_frame`) from a pending buffer and hands decoded
+//! requests to the pool; the connection thread blocks on the reply so
+//! responses on one connection preserve request order. Workers run method
+//! handlers under `catch_unwind`, so a panicking handler costs one error
+//! response, never a wedged worker.
+//!
+//! Shutdown is graceful by construction: `begin_shutdown` flips a flag,
+//! the acceptor stops taking connections, and every request already
+//! *accepted* (decoded off the socket and queued) is still answered —
+//! connection threads only hang up after writing the pending reply.
+//! A connection holding half a frame when the drain starts gets a short
+//! grace period to finish it before the socket closes.
+
+use crate::cache::VerdictCache;
+use crate::methods::{self, RpcError};
+use crate::wire::{self, Request};
+use crossbeam::channel::{self, Receiver, Sender};
+use minobs_obs::{JsonlSink, MetricsRecorder, MetricsRegistry, Recorder};
+use serde_json::Value;
+use std::fs::File;
+use std::io::{self, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// How long the acceptor sleeps between polls of the nonblocking socket.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+/// Read timeout on connection sockets; bounds drain-flag latency.
+const READ_POLL: Duration = Duration::from_millis(50);
+/// How long a draining connection may take to finish a half-read frame.
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
+
+/// Server-side caps applied to every request's budget.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Hard cap on checker states per request.
+    pub max_states: usize,
+    /// Hard cap on checker wall-clock per request, in milliseconds.
+    pub max_millis: u64,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_states: 5_000_000,
+            max_millis: 10_000,
+        }
+    }
+}
+
+/// Daemon configuration; `from_env` reads the `MINOBS_SVC_*` variables.
+#[derive(Debug, Clone)]
+pub struct SvcConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker-pool size.
+    pub workers: usize,
+    /// Per-request budget caps.
+    pub limits: Limits,
+    /// Where to write the `svc_*` event trace, if anywhere.
+    pub trace_path: Option<PathBuf>,
+}
+
+impl Default for SvcConfig {
+    fn default() -> SvcConfig {
+        SvcConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: default_workers(),
+            limits: Limits::default(),
+            trace_path: None,
+        }
+    }
+}
+
+fn default_workers() -> usize {
+    thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(2)
+        .clamp(2, 16)
+}
+
+impl SvcConfig {
+    /// Configuration from `MINOBS_SVC_ADDR` (default `127.0.0.1:0`),
+    /// `MINOBS_SVC_WORKERS` (default: available parallelism, clamped to
+    /// `[2, 16]`), and `MINOBS_SVC_TRACE` (a JSONL path; unset = no
+    /// trace).
+    pub fn from_env() -> SvcConfig {
+        let mut config = SvcConfig::default();
+        if let Ok(addr) = std::env::var("MINOBS_SVC_ADDR") {
+            if !addr.trim().is_empty() {
+                config.addr = addr.trim().to_string();
+            }
+        }
+        if let Ok(workers) = std::env::var("MINOBS_SVC_WORKERS") {
+            if let Ok(n) = workers.trim().parse::<usize>() {
+                config.workers = n.clamp(1, 256);
+            }
+        }
+        if let Ok(path) = std::env::var("MINOBS_SVC_TRACE") {
+            if !path.trim().is_empty() {
+                config.trace_path = Some(PathBuf::from(path.trim()));
+            }
+        }
+        config
+    }
+}
+
+enum TraceSink {
+    None,
+    File(JsonlSink<BufWriter<File>>),
+}
+
+/// State shared by the acceptor, connection threads, and workers.
+pub struct ServerState {
+    shutting_down: AtomicBool,
+    seq: AtomicU64,
+    registry: Arc<MetricsRegistry>,
+    cache: VerdictCache,
+    limits: Limits,
+    workers: usize,
+    started: Instant,
+    metrics: Mutex<MetricsRecorder>,
+    trace: Mutex<TraceSink>,
+}
+
+impl ServerState {
+    fn new(config: &SvcConfig) -> io::Result<ServerState> {
+        let registry = Arc::new(MetricsRegistry::new());
+        let cache = VerdictCache::new(&registry);
+        let trace = match &config.trace_path {
+            Some(path) => TraceSink::File(JsonlSink::create(path)?),
+            None => TraceSink::None,
+        };
+        Ok(ServerState {
+            shutting_down: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+            metrics: Mutex::new(MetricsRecorder::new(Arc::clone(&registry))),
+            registry,
+            cache,
+            limits: config.limits,
+            workers: config.workers,
+            started: Instant::now(),
+            trace: Mutex::new(trace),
+        })
+    }
+
+    /// True once a drain has started.
+    pub fn draining(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Starts the drain: stop accepting, answer what was taken, exit.
+    pub fn begin_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+    }
+
+    /// The verdict cache.
+    pub fn cache(&self) -> &VerdictCache {
+        &self.cache
+    }
+
+    /// The metrics registry backing `stats` and the cache counters.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Per-request budget caps.
+    pub fn limits(&self) -> Limits {
+        self.limits
+    }
+
+    /// Worker-pool size.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Milliseconds since the daemon started.
+    pub fn uptime_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::SeqCst)
+    }
+
+    fn on_request(&self, seq: u64, method: &str) {
+        lock(&self.metrics).on_svc_request(seq, method);
+        if let TraceSink::File(sink) = &mut *lock(&self.trace) {
+            sink.on_svc_request(seq, method);
+        }
+    }
+
+    fn on_response(&self, seq: u64, method: &str, ok: bool, cache: &'static str, nanos: u64) {
+        lock(&self.metrics).on_svc_response(seq, method, ok, cache, nanos);
+        if let TraceSink::File(sink) = &mut *lock(&self.trace) {
+            sink.on_svc_response(seq, method, ok, cache, nanos);
+        }
+    }
+
+    fn flush_trace(&self) {
+        if let TraceSink::File(sink) = &mut *lock(&self.trace) {
+            let _ = sink.flush();
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+struct Job {
+    seq: u64,
+    request: Request,
+    reply: Sender<Value>,
+}
+
+/// A running daemon; keep it alive for as long as you serve.
+pub struct Server {
+    local_addr: SocketAddr,
+    state: Arc<ServerState>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    job_tx: Option<Sender<Job>>,
+}
+
+/// Binds and starts serving; returns once the socket is listening.
+pub fn serve(config: SvcConfig) -> io::Result<Server> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let local_addr = listener.local_addr()?;
+    let state = Arc::new(ServerState::new(&config)?);
+
+    let (job_tx, job_rx) = channel::unbounded::<Job>();
+    let workers = (0..config.workers.max(1))
+        .map(|_| {
+            let rx = job_rx.clone();
+            let st = Arc::clone(&state);
+            thread::spawn(move || worker_loop(&st, &rx))
+        })
+        .collect();
+    drop(job_rx);
+
+    let acceptor = {
+        let st = Arc::clone(&state);
+        let tx = job_tx.clone();
+        thread::spawn(move || acceptor_loop(&listener, &st, &tx))
+    };
+
+    Ok(Server {
+        local_addr,
+        state,
+        acceptor: Some(acceptor),
+        workers,
+        job_tx: Some(job_tx),
+    })
+}
+
+impl Server {
+    /// The bound address (with the resolved port when binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Shared state, for tests and in-process inspection.
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Starts the drain; pair with [`Server::join`].
+    pub fn shutdown(&self) {
+        self.state.begin_shutdown();
+    }
+
+    /// Blocks until the drain completes and every thread has exited.
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Acceptor (and all connection threads it joined) are gone; no
+        // producer remains, so workers drain the queue and exit.
+        drop(self.job_tx.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.state.flush_trace();
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, state: &Arc<ServerState>, job_tx: &Sender<Job>) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    while !state.draining() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let st = Arc::clone(state);
+                let tx = job_tx.clone();
+                connections.push(thread::spawn(move || serve_connection(stream, &st, &tx)));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => thread::sleep(ACCEPT_POLL),
+        }
+        connections.retain(|handle| !handle.is_finished());
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+}
+
+fn serve_connection(stream: TcpStream, state: &Arc<ServerState>, job_tx: &Sender<Job>) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let _ = stream.set_nodelay(true);
+    let mut reader = &stream;
+    let mut writer = &stream;
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 8192];
+    let mut drain_seen: Option<Instant> = None;
+
+    loop {
+        // Dispatch every complete frame already buffered.
+        loop {
+            match wire::try_parse_frame(&pending) {
+                Ok(Some((value, consumed))) => {
+                    pending.drain(..consumed);
+                    if !handle_frame(&mut writer, state, job_tx, &value) {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    let _ = wire::write_frame(
+                        &mut writer,
+                        &wire::err_response(0, "bad_frame", &e.to_string()),
+                    );
+                    return;
+                }
+            }
+        }
+
+        if state.draining() {
+            // Answered everything complete; allow a short grace window
+            // for a half-received frame, then hang up.
+            if pending.is_empty() {
+                return;
+            }
+            match drain_seen {
+                None => drain_seen = Some(Instant::now()),
+                Some(t) if t.elapsed() > DRAIN_GRACE => return,
+                Some(_) => {}
+            }
+        }
+
+        match reader.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => pending.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Decodes and dispatches one framed value. Returns false when the
+/// connection should close (write failure or the queue is gone).
+fn handle_frame<W: Write>(
+    writer: &mut W,
+    state: &Arc<ServerState>,
+    job_tx: &Sender<Job>,
+    value: &Value,
+) -> bool {
+    let request = match wire::parse_request(value) {
+        Ok(request) => request,
+        Err(message) => {
+            let id = value.get("id").and_then(Value::as_u64).unwrap_or(0);
+            let reply = wire::err_response(id, "bad_request", &message);
+            return wire::write_frame(writer, &reply).is_ok();
+        }
+    };
+
+    let seq = state.next_seq();
+    state.on_request(seq, &request.method);
+    let id = request.id;
+    let (reply_tx, reply_rx) = channel::bounded::<Value>(1);
+    if job_tx
+        .send(Job {
+            seq,
+            request,
+            reply: reply_tx,
+        })
+        .is_err()
+    {
+        // Workers already gone: only possible in late teardown.
+        let reply = wire::err_response(id, "shutting_down", "daemon is draining");
+        let _ = wire::write_frame(writer, &reply);
+        return false;
+    }
+    match reply_rx.recv() {
+        Ok(reply) => wire::write_frame(writer, &reply).is_ok(),
+        Err(_) => {
+            let reply = wire::err_response(id, "internal", "worker dropped the request");
+            let _ = wire::write_frame(writer, &reply);
+            false
+        }
+    }
+}
+
+fn worker_loop(state: &Arc<ServerState>, rx: &Receiver<Job>) {
+    while let Ok(job) = rx.recv() {
+        let start = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| methods::handle(state, &job.request)));
+        let (result, disposition) = outcome.unwrap_or_else(|_| {
+            (
+                Err(RpcError::new("internal", "method handler panicked")),
+                "none",
+            )
+        });
+        let ok = result.is_ok();
+        let nanos = (start.elapsed().as_nanos() as u64).max(1);
+        state.on_response(job.seq, &job.request.method, ok, disposition, nanos);
+        let reply = match result {
+            Ok(value) => wire::ok_response(job.request.id, value),
+            Err(e) => wire::err_response(job.request.id, e.code, &e.message),
+        };
+        let _ = job.reply.send(reply);
+    }
+}

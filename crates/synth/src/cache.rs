@@ -1,0 +1,390 @@
+//! Monotone horizon-verdict caching for the bounded checker.
+//!
+//! Solvability at a fixed horizon is monotone in the horizon: a round-`k`
+//! algorithm also decides (by ignoring later rounds' information) at any
+//! `k' ≥ k`, because round-`k'` views refine round-`k` views and every
+//! allowed `k`-prefix extends to an allowed `k'`-prefix within the same
+//! scheme. Dually, unsolvability propagates downward: if no decision map
+//! exists on round-`k` views, none exists on the coarser round-`k'` views
+//! for `k' ≤ k`. (The vacuous [`CheckResult::Empty`] verdict — no allowed
+//! prefix of length `k` at all — is upward-monotone too, since `Pref(L)`
+//! is prefix-closed.)
+//!
+//! [`HorizonVerdicts`] exploits this: it stores only the two boundary
+//! horizons — the smallest known-solvable and the largest known-unsolvable
+//! — and answers every query at or beyond a boundary by *subsumption*
+//! instead of re-running the exponential full-information construction.
+//! [`solvable_by_cached`] and [`first_solvable_horizon_cached`] are the
+//! cache-aware entry points; the `minobs-svc` daemon shards many
+//! `HorizonVerdicts` values behind canonical scheme keys.
+
+use minobs_core::prelude::Letter;
+use minobs_core::scheme::OmissionScheme;
+
+use crate::checker::{
+    solvable_by_budgeted, Budget, CheckResult, HorizonOutcome,
+};
+
+/// The monotone verdict summary for one (scheme, alphabet) pair.
+///
+/// Invariant: when both boundaries are known,
+/// `max_unsolvable < min_solvable` — anything else would contradict
+/// horizon monotonicity and indicates the two verdicts came from
+/// different schemes (a cache-key collision).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HorizonVerdicts {
+    min_solvable: Option<usize>,
+    max_unsolvable: Option<usize>,
+}
+
+/// How a cached lookup answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheAnswer {
+    /// The queried horizon is exactly a recorded boundary.
+    Exact {
+        /// The cached verdict.
+        solvable: bool,
+    },
+    /// The queried horizon is answered by monotone subsumption from a
+    /// boundary proved at a *different* horizon.
+    Subsumed {
+        /// The inferred verdict.
+        solvable: bool,
+        /// The boundary horizon the verdict was actually proved at.
+        proven_at: usize,
+    },
+}
+
+impl CacheAnswer {
+    /// The verdict, regardless of how it was derived.
+    pub fn solvable(&self) -> bool {
+        match *self {
+            CacheAnswer::Exact { solvable } | CacheAnswer::Subsumed { solvable, .. } => solvable,
+        }
+    }
+
+    /// `true` when the answer came from a different horizon's verdict.
+    pub fn is_subsumed(&self) -> bool {
+        matches!(self, CacheAnswer::Subsumed { .. })
+    }
+}
+
+impl HorizonVerdicts {
+    /// An empty summary: every lookup misses.
+    pub fn new() -> HorizonVerdicts {
+        HorizonVerdicts::default()
+    }
+
+    /// The smallest horizon known solvable, if any.
+    pub fn min_solvable(&self) -> Option<usize> {
+        self.min_solvable
+    }
+
+    /// The largest horizon known unsolvable, if any.
+    pub fn max_unsolvable(&self) -> Option<usize> {
+        self.max_unsolvable
+    }
+
+    /// `true` when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.min_solvable.is_none() && self.max_unsolvable.is_none()
+    }
+
+    /// Records a definite verdict for horizon `k`, tightening the
+    /// matching boundary. Only definite verdicts may be recorded —
+    /// budget-exhausted partial answers must not reach here.
+    ///
+    /// # Panics
+    /// In debug builds, when the new verdict contradicts monotonicity
+    /// (recording `solvable@k` with `k ≤ max_unsolvable`, or vice versa)
+    /// — the caller mixed verdicts from different schemes.
+    pub fn record(&mut self, k: usize, solvable: bool) {
+        if solvable {
+            debug_assert!(
+                self.max_unsolvable.is_none_or(|m| m < k),
+                "solvable@{k} contradicts unsolvable@{:?}",
+                self.max_unsolvable
+            );
+            if self.min_solvable.is_none_or(|m| k < m) {
+                self.min_solvable = Some(k);
+            }
+        } else {
+            debug_assert!(
+                self.min_solvable.is_none_or(|m| k < m),
+                "unsolvable@{k} contradicts solvable@{:?}",
+                self.min_solvable
+            );
+            if self.max_unsolvable.is_none_or(|m| k > m) {
+                self.max_unsolvable = Some(k);
+            }
+        }
+    }
+
+    /// Answers a horizon-`k` query from the recorded boundaries, or
+    /// `None` when `k` lies in the unknown gap between them.
+    pub fn lookup(&self, k: usize) -> Option<CacheAnswer> {
+        if let Some(m) = self.min_solvable {
+            if k >= m {
+                return Some(if k == m {
+                    CacheAnswer::Exact { solvable: true }
+                } else {
+                    CacheAnswer::Subsumed {
+                        solvable: true,
+                        proven_at: m,
+                    }
+                });
+            }
+        }
+        if let Some(m) = self.max_unsolvable {
+            if k <= m {
+                return Some(if k == m {
+                    CacheAnswer::Exact { solvable: false }
+                } else {
+                    CacheAnswer::Subsumed {
+                        solvable: false,
+                        proven_at: m,
+                    }
+                });
+            }
+        }
+        None
+    }
+}
+
+/// Result of a cache-aware horizon check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CachedCheck {
+    /// The cache answered without running the checker.
+    Cached(CacheAnswer),
+    /// The checker ran; its verdict (when definite) is now recorded.
+    Fresh(CheckResult),
+}
+
+impl CachedCheck {
+    /// The verdict, when one exists. `None` only for a fresh
+    /// budget-exhausted result.
+    pub fn solvable(&self) -> Option<bool> {
+        match self {
+            CachedCheck::Cached(answer) => Some(answer.solvable()),
+            CachedCheck::Fresh(CheckResult::BudgetExhausted { .. }) => None,
+            CachedCheck::Fresh(result) => Some(result.is_solvable()),
+        }
+    }
+}
+
+/// [`solvable_by_budgeted`] through a [`HorizonVerdicts`] summary: a
+/// boundary at or beyond `k` answers immediately, otherwise the checker
+/// runs and its definite verdict tightens the summary.
+pub fn solvable_by_cached(
+    scheme: &dyn OmissionScheme,
+    k: usize,
+    alphabet: &[Letter],
+    budget: Budget,
+    cache: &mut HorizonVerdicts,
+) -> CachedCheck {
+    if let Some(answer) = cache.lookup(k) {
+        return CachedCheck::Cached(answer);
+    }
+    let result = solvable_by_budgeted(scheme, k, alphabet, budget);
+    if !matches!(result, CheckResult::BudgetExhausted { .. }) {
+        cache.record(k, result.is_solvable());
+    }
+    CachedCheck::Fresh(result)
+}
+
+/// [`crate::checker::first_solvable_horizon_budgeted`] through a
+/// [`HorizonVerdicts`] summary.
+///
+/// The sweep starts just above the known-unsolvable boundary and stops
+/// at the known-solvable boundary (which caps the answer from above), so
+/// a warm cache skips both tails. Unlike the uncached sweep, `budget`
+/// applies to each inner check separately — the cache makes the number
+/// of inner checks unpredictable, so a cumulative cap would make warm
+/// and cold sweeps behave differently.
+pub fn first_solvable_horizon_cached(
+    scheme: &dyn OmissionScheme,
+    max_k: usize,
+    alphabet: &[Letter],
+    budget: Budget,
+    cache: &mut HorizonVerdicts,
+) -> HorizonOutcome {
+    let start = cache.max_unsolvable().map_or(0, |m| m + 1);
+    // A cached solvable boundary within range bounds the answer above;
+    // horizons at or beyond it never need checking.
+    let ceiling = cache.min_solvable().filter(|&m| m <= max_k);
+    let sweep_end = ceiling.unwrap_or(max_k + 1);
+    for k in start..sweep_end {
+        match solvable_by_cached(scheme, k, alphabet, budget, cache) {
+            CachedCheck::Fresh(CheckResult::BudgetExhausted {
+                horizon_reached,
+                frontier_size,
+            }) => {
+                return HorizonOutcome::BudgetExhausted {
+                    at_horizon: k,
+                    horizon_reached,
+                    frontier_size,
+                }
+            }
+            answer => {
+                if answer.solvable() == Some(true) {
+                    return HorizonOutcome::Solvable(k);
+                }
+            }
+        }
+    }
+    match ceiling {
+        Some(m) => HorizonOutcome::Solvable(m),
+        None => HorizonOutcome::UnsolvableWithin(max_k),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{gamma_alphabet, solvable_by};
+    use minobs_core::prelude::*;
+
+    #[test]
+    fn boundaries_tighten_and_subsume() {
+        let mut cache = HorizonVerdicts::new();
+        assert!(cache.is_empty());
+        assert_eq!(cache.lookup(3), None);
+
+        cache.record(2, false);
+        cache.record(5, true);
+        cache.record(7, true); // looser than 5: ignored
+        cache.record(1, false); // looser than 2: ignored
+        assert_eq!(cache.min_solvable(), Some(5));
+        assert_eq!(cache.max_unsolvable(), Some(2));
+
+        assert_eq!(
+            cache.lookup(5),
+            Some(CacheAnswer::Exact { solvable: true })
+        );
+        assert_eq!(
+            cache.lookup(9),
+            Some(CacheAnswer::Subsumed {
+                solvable: true,
+                proven_at: 5
+            })
+        );
+        assert_eq!(
+            cache.lookup(2),
+            Some(CacheAnswer::Exact { solvable: false })
+        );
+        assert_eq!(
+            cache.lookup(0),
+            Some(CacheAnswer::Subsumed {
+                solvable: false,
+                proven_at: 2
+            })
+        );
+        // The gap stays unknown.
+        assert_eq!(cache.lookup(3), None);
+        assert_eq!(cache.lookup(4), None);
+    }
+
+    #[test]
+    fn cached_check_matches_direct_on_s1() {
+        // S1 first becomes solvable at horizon 2.
+        let scheme = classic::s1();
+        let alphabet = gamma_alphabet();
+        let mut cache = HorizonVerdicts::new();
+        for k in [0usize, 1, 2, 3, 4] {
+            let direct = solvable_by(&scheme, k, &alphabet).is_solvable();
+            let cached = solvable_by_cached(&scheme, k, &alphabet, Budget::UNLIMITED, &mut cache);
+            assert_eq!(cached.solvable(), Some(direct), "horizon {k}");
+        }
+        // A second pass answers everything from the two boundaries.
+        for k in [0usize, 1, 2, 3, 4] {
+            let cached = solvable_by_cached(&scheme, k, &alphabet, Budget::UNLIMITED, &mut cache);
+            assert!(matches!(cached, CachedCheck::Cached(_)), "horizon {k}");
+        }
+        assert_eq!(cache.min_solvable(), Some(2));
+        assert_eq!(cache.max_unsolvable(), Some(1));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_never_recorded() {
+        let scheme = classic::r1();
+        let alphabet = gamma_alphabet();
+        let mut cache = HorizonVerdicts::new();
+        let result = solvable_by_cached(&scheme, 6, &alphabet, Budget::states(2), &mut cache);
+        assert!(matches!(
+            result,
+            CachedCheck::Fresh(CheckResult::BudgetExhausted { .. })
+        ));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cached_sweep_agrees_with_uncached() {
+        let scheme = classic::s1();
+        let alphabet = gamma_alphabet();
+        let mut cache = HorizonVerdicts::new();
+        let cold =
+            first_solvable_horizon_cached(&scheme, 5, &alphabet, Budget::UNLIMITED, &mut cache);
+        assert_eq!(cold, HorizonOutcome::Solvable(2));
+        // Warm: the boundaries answer without any checker run; the ceiling
+        // short-circuits even when the sweep range is empty.
+        let warm =
+            first_solvable_horizon_cached(&scheme, 5, &alphabet, Budget::states(1), &mut cache);
+        assert_eq!(warm, HorizonOutcome::Solvable(2));
+
+        let mut cache = HorizonVerdicts::new();
+        let unsolvable =
+            first_solvable_horizon_cached(&classic::r1(), 3, &alphabet, Budget::UNLIMITED, &mut cache);
+        assert_eq!(unsolvable, HorizonOutcome::UnsolvableWithin(3));
+        assert_eq!(cache.max_unsolvable(), Some(3));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn scheme_pool() -> Vec<ClassicScheme> {
+            vec![
+                classic::s0(),
+                classic::t_white(),
+                classic::c1(),
+                classic::s1(),
+                classic::r1(),
+                classic::s2(),
+                classic::fair_gamma(),
+                classic::almost_fair(),
+                classic::total_budget(2),
+                ClassicScheme::AvoidPrefix("-w".parse().unwrap()),
+            ]
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// Subsumption soundness: querying horizons in any order
+            /// through one warm cache must agree with the direct checker
+            /// at every horizon — a cached or subsumed answer is never
+            /// allowed to differ from recomputation.
+            #[test]
+            fn prop_subsumption_never_contradicts_direct(
+                scheme_pick in 0usize..10,
+                horizons in proptest::collection::vec(0usize..5, 1..8),
+            ) {
+                let scheme = &scheme_pool()[scheme_pick];
+                let alphabet = gamma_alphabet();
+                let mut cache = HorizonVerdicts::new();
+                for &k in &horizons {
+                    let direct = solvable_by(scheme, k, &alphabet).is_solvable();
+                    let cached =
+                        solvable_by_cached(scheme, k, &alphabet, Budget::UNLIMITED, &mut cache);
+                    prop_assert_eq!(
+                        cached.solvable(),
+                        Some(direct),
+                        "scheme {} horizon {}",
+                        scheme.name(),
+                        k
+                    );
+                }
+            }
+        }
+    }
+}

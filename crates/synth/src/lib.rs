@@ -47,9 +47,13 @@
 //! assert!(solvable_by(&classic::s1(), 2, &gamma_alphabet()).is_solvable());
 //! ```
 
+pub mod cache;
 pub mod checker;
 pub mod views;
 
+pub use cache::{
+    first_solvable_horizon_cached, solvable_by_cached, CacheAnswer, CachedCheck, HorizonVerdicts,
+};
 pub use checker::{
     first_solvable_horizon, first_solvable_horizon_budgeted, solvable_by, solvable_by_budgeted,
     solvable_by_par, solvable_by_par_budgeted, Budget, ChainStep, CheckResult, HorizonOutcome,

@@ -1,0 +1,319 @@
+//! End-to-end tests for the solvability-query service: wire round trips
+//! over real sockets, concurrent-vs-serial verdict equivalence, graceful
+//! shutdown under load, and (ignored by default) the warm-cache speedup
+//! acceptance check.
+
+use minobs_svc::client::SvcClient;
+use minobs_svc::server::{serve, SvcConfig};
+use serde_json::{Map, Value};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+fn start() -> (minobs_svc::server::Server, String) {
+    let server = serve(SvcConfig::default()).expect("bind an ephemeral port");
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+fn obj(pairs: &[(&str, Value)]) -> Value {
+    let mut map = Map::new();
+    for (key, value) in pairs {
+        map.insert((*key).to_string(), value.clone());
+    }
+    Value::Object(map)
+}
+
+fn check_params(scheme: &str, horizon: u64) -> Value {
+    obj(&[
+        ("scheme", Value::from(scheme)),
+        ("horizon", Value::from(horizon)),
+    ])
+}
+
+/// The query mix both equivalence tests run: every method, schemes from
+/// several families, horizons crossing each scheme's solvability
+/// boundary so subsumption answers some of them.
+fn workload() -> Vec<(&'static str, Value)> {
+    let mut queries = Vec::new();
+    for scheme in ["s0", "s1", "r1", "fair", "almost_fair", "regular_s1"] {
+        for horizon in [0u64, 1, 2, 3] {
+            queries.push(("check_horizon", check_params(scheme, horizon)));
+        }
+    }
+    queries.push(("check_horizon", check_params("s2", 2)));
+    for scheme in ["s1", "r1", "fair", "regular_c1"] {
+        queries.push(("solvable", obj(&[("scheme", Value::from(scheme))])));
+        queries.push((
+            "first_horizon",
+            obj(&[
+                ("scheme", Value::from(scheme)),
+                ("max_horizon", Value::from(4u64)),
+            ]),
+        ));
+    }
+    for (graph, f) in [("k4", 2u64), ("c5", 1), ("c5", 2), ("petersen", 2)] {
+        queries.push((
+            "net_solvable",
+            obj(&[("graph", Value::from(graph)), ("f", Value::from(f))]),
+        ));
+    }
+    queries.push((
+        "simulate",
+        obj(&[
+            ("w", Value::from("(w)")),
+            ("scenario", Value::from("(-)")),
+            ("max_rounds", Value::from(48u64)),
+        ]),
+    ));
+    queries
+}
+
+/// Projects a response onto the fields that must be identical no matter
+/// how the query was scheduled or whether the cache answered it.
+fn verdict_of(method: &str, result: &Value) -> String {
+    match method {
+        "check_horizon" => format!("{:?}", result.get("solvable")),
+        "first_horizon" => format!(
+            "{:?}@{:?}",
+            result.get("outcome"),
+            result.get("horizon").or(result.get("max_horizon"))
+        ),
+        "solvable" => format!(
+            "{:?} witness {:?}",
+            result.get("solvable"),
+            result.get("witness")
+        ),
+        "net_solvable" => format!(
+            "{:?} c {:?}",
+            result.get("solvable"),
+            result.get("edge_connectivity")
+        ),
+        "simulate" => format!("{:?}", result.get("verdict")),
+        other => panic!("workload has no verdict projection for {other}"),
+    }
+}
+
+#[test]
+fn all_methods_answer_over_the_wire() {
+    let (server, addr) = start();
+    let mut client = SvcClient::connect(addr.as_str()).unwrap();
+
+    let theorem = client
+        .call("solvable", obj(&[("scheme", Value::from("s1"))]))
+        .unwrap();
+    assert_eq!(theorem.get("solvable").and_then(Value::as_bool), Some(true));
+    assert!(theorem.get("witness").is_some(), "solvable carries witness");
+
+    let check = client.call("check_horizon", check_params("r1", 3)).unwrap();
+    assert_eq!(check.get("solvable").and_then(Value::as_bool), Some(false));
+    // Same query again: answered by the cache.
+    let check = client.call("check_horizon", check_params("r1", 3)).unwrap();
+    assert_eq!(check.get("cached").and_then(Value::as_bool), Some(true));
+    // Lower horizon: subsumed by the recorded verdict (unsolvable@3 ⇒ @2).
+    let check = client.call("check_horizon", check_params("r1", 2)).unwrap();
+    assert_eq!(check.get("solvable").and_then(Value::as_bool), Some(false));
+    assert_eq!(check.get("cached").and_then(Value::as_bool), Some(true));
+
+    let first = client
+        .call(
+            "first_horizon",
+            obj(&[
+                ("scheme", Value::from("s1")),
+                ("max_horizon", Value::from(4u64)),
+            ]),
+        )
+        .unwrap();
+    assert_eq!(
+        first.get("outcome").and_then(Value::as_str),
+        Some("solvable")
+    );
+
+    let net = client
+        .call(
+            "net_solvable",
+            obj(&[("graph", Value::from("k4")), ("f", Value::from(2u64))]),
+        )
+        .unwrap();
+    assert_eq!(net.get("solvable").and_then(Value::as_bool), Some(true));
+    assert_eq!(net.get("edge_connectivity").and_then(Value::as_u64), Some(3));
+
+    let sim = client
+        .call(
+            "simulate",
+            obj(&[
+                ("w", Value::from("(w)")),
+                ("scenario", Value::from("(-)")),
+                ("max_rounds", Value::from(48u64)),
+                ("trace", Value::from(true)),
+            ]),
+        )
+        .unwrap();
+    assert!(sim.get("verdict").is_some());
+    assert!(sim.get("trace").and_then(Value::as_array).is_some());
+
+    let stats = client.call("stats", Value::Null).unwrap();
+    let counters = stats
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .expect("stats carries metric counters");
+    for counter in ["svc.cache_hits", "svc.cache_misses", "svc.cache_subsumptions"] {
+        assert!(
+            counters.get(counter).and_then(Value::as_u64).is_some(),
+            "{counter} missing from stats: {stats:?}"
+        );
+    }
+    // This connection produced one exact hit and one subsumption above.
+    assert!(counters.get("svc.cache_hits").and_then(Value::as_u64) >= Some(1));
+    assert!(counters.get("svc.cache_subsumptions").and_then(Value::as_u64) >= Some(1));
+
+    // Unknown methods and bad params answer errors, not hangups.
+    assert!(client.call("no_such_method", Value::Null).is_err());
+    assert!(client.call("check_horizon", Value::Null).is_err());
+    let after = client.call("stats", Value::Null).unwrap();
+    assert!(after.get("uptime_ms").is_some());
+
+    client.call("shutdown", Value::Null).unwrap();
+    server.join();
+}
+
+#[test]
+fn concurrent_verdicts_match_serial() {
+    // Serial baseline on a fresh daemon.
+    let (server, addr) = start();
+    let mut client = SvcClient::connect(addr.as_str()).unwrap();
+    let baseline: Vec<String> = workload()
+        .iter()
+        .map(|(method, params)| {
+            let result = client
+                .call(method, params.clone())
+                .unwrap_or_else(|e| panic!("serial {method} failed: {e}"));
+            verdict_of(method, &result)
+        })
+        .collect();
+    client.call("shutdown", Value::Null).unwrap();
+    server.join();
+
+    // Four clients race the same workload (shuffled per thread by
+    // striding) against one fresh daemon; every verdict must match the
+    // serial baseline even though cache states differ per interleaving.
+    let (server, addr) = start();
+    let queries = workload();
+    std::thread::scope(|scope| {
+        for stride in 1..=4usize {
+            let addr = addr.clone();
+            let queries = &queries;
+            let baseline = &baseline;
+            scope.spawn(move || {
+                let mut client = SvcClient::connect(addr.as_str()).unwrap();
+                let n = queries.len();
+                for i in 0..n {
+                    let idx = (i * stride) % n;
+                    let (method, params) = &queries[idx];
+                    let result = client
+                        .call(method, params.clone())
+                        .unwrap_or_else(|e| panic!("concurrent {method} failed: {e}"));
+                    assert_eq!(
+                        verdict_of(method, &result),
+                        baseline[idx],
+                        "query #{idx} ({method}) diverged under concurrency"
+                    );
+                }
+            });
+        }
+    });
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn shutdown_under_load_loses_no_accepted_request() {
+    let (server, addr) = start();
+    let successes = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for worker in 0..4usize {
+            let addr = addr.clone();
+            let successes = &successes;
+            scope.spawn(move || {
+                let mut client = match SvcClient::connect(addr.as_str()) {
+                    Ok(client) => client,
+                    Err(_) => return, // daemon already draining
+                };
+                for i in 0..400usize {
+                    let params = check_params(if worker % 2 == 0 { "s1" } else { "r1" }, 2);
+                    match client.call("check_horizon", params) {
+                        Ok(_) => {
+                            successes.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Err(minobs_svc::SvcError::Rpc { .. }) => {
+                            // A method error is still an answered request.
+                            successes.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Err(_) => {
+                            // Connection closed: the drain refused this
+                            // request before decoding it. That is the
+                            // contract — it must never happen halfway
+                            // (accepted but unanswered), which would
+                            // surface as a recv hang, not an error.
+                            let _ = i;
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+        // Let the load build, then drain from a separate connection.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let mut killer = SvcClient::connect(addr.as_str()).unwrap();
+        let reply = killer.call("shutdown", Value::Null).unwrap();
+        assert_eq!(reply.get("draining").and_then(Value::as_bool), Some(true));
+    });
+
+    // Drain must complete with every accepted request answered: the
+    // request counter equals ok + err responses exactly.
+    let state = std::sync::Arc::clone(server.state());
+    server.join();
+    let requests = state.registry().counter("svc.requests").get();
+    let answered = state.registry().counter("svc.responses_ok").get()
+        + state.registry().counter("svc.responses_err").get();
+    assert_eq!(
+        requests, answered,
+        "accepted {requests} requests but answered {answered}"
+    );
+    assert!(
+        successes.load(Ordering::SeqCst) > 0,
+        "load threads got no responses at all"
+    );
+}
+
+/// Acceptance: repeated `check_horizon` on a warm cache is at least 10×
+/// the cold throughput. Run explicitly (release mode recommended):
+/// `cargo test --release --test svc_service -- --ignored`.
+#[test]
+#[ignore = "timing-sensitive acceptance check; run explicitly in release"]
+fn warm_cache_is_ten_times_cold_throughput() {
+    let (server, addr) = start();
+    let mut client = SvcClient::connect(addr.as_str()).unwrap();
+    let params = check_params("s2", 4);
+
+    let cold_start = Instant::now();
+    let cold = client.call("check_horizon", params.clone()).unwrap();
+    let cold_elapsed = cold_start.elapsed();
+    assert_eq!(cold.get("cached").and_then(Value::as_bool), Some(false));
+
+    const WARM_REPS: u32 = 50;
+    let warm_start = Instant::now();
+    for _ in 0..WARM_REPS {
+        let warm = client.call("check_horizon", params.clone()).unwrap();
+        assert_eq!(warm.get("cached").and_then(Value::as_bool), Some(true));
+    }
+    let warm_mean = warm_start.elapsed() / WARM_REPS;
+
+    let speedup = cold_elapsed.as_secs_f64() / warm_mean.as_secs_f64().max(1e-9);
+    client.call("shutdown", Value::Null).unwrap();
+    server.join();
+    assert!(
+        speedup >= 10.0,
+        "warm cache speedup only {speedup:.1}× (cold {cold_elapsed:?}, warm mean {warm_mean:?})"
+    );
+}
