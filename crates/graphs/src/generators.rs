@@ -202,6 +202,60 @@ pub fn random_regular<R: Rng>(n: usize, d: usize, rng: &mut R) -> Graph {
     panic!("could not sample a simple {d}-regular graph on {n} vertices");
 }
 
+/// Largest vertex count [`parse`] will build. Descriptions exceeding it
+/// are rejected before construction, so untrusted input (e.g. a network
+/// request) cannot trigger an enormous allocation. The caps are small
+/// enough that even `Graph`'s quadratic duplicate-edge checking stays
+/// cheap — construction time is bounded, not just memory.
+pub const MAX_PARSE_VERTICES: usize = 10_000;
+
+/// Largest edge count [`parse`] will build; see [`MAX_PARSE_VERTICES`].
+pub const MAX_PARSE_EDGES: usize = 100_000;
+
+/// Rejects descriptions whose graph would exceed the parse size caps,
+/// sizing the graph from the arguments alone. Descriptions with the
+/// wrong arity pass through: the builder dispatch reports those.
+fn check_parse_size(name: &str, args: &[usize], spec: &str) -> Result<(), String> {
+    // u128 arithmetic: products of two usize arguments cannot overflow.
+    let size: Option<(u128, u128)> = match (name, args) {
+        ("complete", &[n]) => Some((n as u128, n as u128 * n.saturating_sub(1) as u128 / 2)),
+        ("cycle" | "path" | "star", &[n]) => Some((n as u128, n as u128)),
+        ("grid" | "torus", &[r, c]) => {
+            Some((r as u128 * c as u128, 2 * r as u128 * c as u128))
+        }
+        ("hypercube", &[d]) => {
+            if d >= 64 {
+                Some((u128::MAX, u128::MAX))
+            } else {
+                Some((1u128 << d, (d as u128) << d.saturating_sub(1)))
+            }
+        }
+        ("complete_bipartite", &[a, b]) => {
+            Some((a as u128 + b as u128, a as u128 * b as u128))
+        }
+        ("barbell", &[m, bridges]) => Some((
+            2 * m as u128,
+            m as u128 * m.saturating_sub(1) as u128 + bridges as u128,
+        )),
+        ("theta", &[paths, inner]) => Some((
+            2 + paths as u128 * inner as u128,
+            paths as u128 * (inner as u128 + 1),
+        )),
+        _ => None,
+    };
+    match size {
+        Some((vertices, edges))
+            if vertices > MAX_PARSE_VERTICES as u128 || edges > MAX_PARSE_EDGES as u128 =>
+        {
+            Err(format!(
+                "{spec} is too large: {vertices} vertices / {edges} edges exceed the \
+                 parse caps of {MAX_PARSE_VERTICES} vertices / {MAX_PARSE_EDGES} edges"
+            ))
+        }
+        _ => Ok(()),
+    }
+}
+
 /// Builds a graph from a textual family description, e.g. `"torus(3,4)"`,
 /// `"petersen"`, or the short forms `"k5"` / `"c6"` / `"q3"` the chaos
 /// harness and experiment tables use.
@@ -218,7 +272,7 @@ pub fn random_regular<R: Rng>(n: usize, d: usize, rng: &mut R) -> Graph {
 /// | `star(n)` | `K_{1,n-1}` (n ≥ 2) |
 /// | `grid(r,c)` | r×c grid |
 /// | `torus(r,c)` | r×c torus (both ≥ 3) |
-/// | `hypercube(d)`, `q<d>`, `h<d>` | `Q_d` (d ≤ 20) |
+/// | `hypercube(d)`, `q<d>`, `h<d>` | `Q_d` |
 /// | `complete_bipartite(a,b)` | `K_{a,b}` |
 /// | `barbell(m,bridges)` | two `K_m` + bridges (1 ≤ bridges ≤ m) |
 /// | `theta(paths,inner)` | theta graph (paths ≥ 2, inner ≥ 1) |
@@ -226,6 +280,9 @@ pub fn random_regular<R: Rng>(n: usize, d: usize, rng: &mut R) -> Graph {
 ///
 /// Errors (instead of panicking) on unknown names, wrong arity, and
 /// out-of-range sizes, so a network service can reject bad requests.
+/// Descriptions are also size-capped ([`MAX_PARSE_VERTICES`] /
+/// [`MAX_PARSE_EDGES`]), computed from the arguments *before* any
+/// allocation — a hostile `grid(100000,100000)` is rejected, not built.
 pub fn parse(spec: &str) -> Result<Graph, String> {
     let spec = spec.trim();
     let (name, args) = match spec.find('(') {
@@ -262,6 +319,8 @@ pub fn parse(spec: &str) -> Result<Graph, String> {
             }
         }
     }
+
+    check_parse_size(&name, &args, spec)?;
 
     let arity = |want: usize| -> Result<(), String> {
         if args.len() == want {
@@ -315,9 +374,6 @@ pub fn parse(spec: &str) -> Result<Graph, String> {
         }
         "hypercube" => {
             arity(1)?;
-            if args[0] > 20 {
-                return Err("hypercube dimension capped at 20".to_string());
-            }
             hypercube(args[0] as u32)
         }
         "complete_bipartite" => {
@@ -400,6 +456,31 @@ mod tests {
         ] {
             assert!(parse(bad).is_err(), "{bad:?} should be rejected");
         }
+    }
+
+    #[test]
+    fn parse_rejects_oversized_descriptions_without_building() {
+        // Each of these would allocate far past the caps if built; the
+        // error must come back immediately (and mention the caps), not
+        // after an attempted 10^10-vertex construction.
+        for big in [
+            "grid(100000,100000)",
+            "complete(100000)",
+            "torus(1000000,1000000)",
+            "complete_bipartite(100000,100000)",
+            "barbell(50000,1)",
+            "theta(100000,100000)",
+            "hypercube(40)",
+            "q40",
+            "k18446744073709551615",
+            "path(18446744073709551615)",
+        ] {
+            let err = parse(big).expect_err(big);
+            assert!(err.contains("too large"), "{big}: {err}");
+        }
+        // Comfortably in-cap members still build.
+        assert!(parse("hypercube(10)").is_ok());
+        assert!(parse("grid(70,70)").is_ok());
     }
 
     #[test]

@@ -236,8 +236,11 @@ fn check_horizon(state: &ServerState, params: &Value) -> (Result<Value, RpcError
 
 /// `first_horizon`: sweep `0..=max_horizon` for the first solvable
 /// horizon, consulting the cache before every inner check. The budget
-/// applies per inner check. Disposition is `"hit"` only when the whole
-/// sweep was answered without running the checker once.
+/// applies per inner check. Disposition is `"miss"` when the checker
+/// ran at least once, `"subsumed"` when the sweep was answered from the
+/// cache but needed at least one subsumption, and `"hit"` only when
+/// every horizon was answered by an exact cached boundary — matching
+/// `check_horizon`'s semantics for the `svc_response` cache metrics.
 fn first_horizon(state: &ServerState, params: &Value) -> (Result<Value, RpcError>, &'static str) {
     let parsed = (|| {
         let scheme = parse_scheme(params)?;
@@ -254,10 +257,16 @@ fn first_horizon(state: &ServerState, params: &Value) -> (Result<Value, RpcError
     let key = scheme.cache_key(&alphabet);
 
     let mut ran_checker = false;
+    let mut saw_subsumption = false;
     let mut outcome = None;
     for k in 0..=max_k {
         let solvable = match state.cache().lookup_horizon(&key, k) {
-            Some(answer) => answer.solvable(),
+            Some(answer) => {
+                if matches!(answer, CacheAnswer::Subsumed { .. }) {
+                    saw_subsumption = true;
+                }
+                answer.solvable()
+            }
             None => {
                 ran_checker = true;
                 match scheme.check(k, &alphabet, budget, parallel) {
@@ -295,7 +304,14 @@ fn first_horizon(state: &ServerState, params: &Value) -> (Result<Value, RpcError
             ("max_horizon", Value::from(max_k as u64)),
         ])
     });
-    (Ok(result), if ran_checker { "miss" } else { "hit" })
+    let disposition = if ran_checker {
+        "miss"
+    } else if saw_subsumption {
+        "subsumed"
+    } else {
+        "hit"
+    };
+    (Ok(result), disposition)
 }
 
 /// `net_solvable`: Theorem V.1 — consensus on a graph is solvable

@@ -62,6 +62,10 @@ pub struct SvcConfig {
     pub addr: String,
     /// Worker-pool size.
     pub workers: usize,
+    /// Cap on concurrent connection threads; connections past it are
+    /// answered with a `busy` error and closed, so a peer opening
+    /// sockets in a loop cannot drive unbounded thread creation.
+    pub max_connections: usize,
     /// Per-request budget caps.
     pub limits: Limits,
     /// Where to write the `svc_*` event trace, if anywhere.
@@ -73,6 +77,7 @@ impl Default for SvcConfig {
         SvcConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: default_workers(),
+            max_connections: 256,
             limits: Limits::default(),
             trace_path: None,
         }
@@ -89,7 +94,8 @@ fn default_workers() -> usize {
 impl SvcConfig {
     /// Configuration from `MINOBS_SVC_ADDR` (default `127.0.0.1:0`),
     /// `MINOBS_SVC_WORKERS` (default: available parallelism, clamped to
-    /// `[2, 16]`), and `MINOBS_SVC_TRACE` (a JSONL path; unset = no
+    /// `[2, 16]`), `MINOBS_SVC_MAX_CONNS` (default 256, clamped to
+    /// `[1, 4096]`), and `MINOBS_SVC_TRACE` (a JSONL path; unset = no
     /// trace).
     pub fn from_env() -> SvcConfig {
         let mut config = SvcConfig::default();
@@ -101,6 +107,11 @@ impl SvcConfig {
         if let Ok(workers) = std::env::var("MINOBS_SVC_WORKERS") {
             if let Ok(n) = workers.trim().parse::<usize>() {
                 config.workers = n.clamp(1, 256);
+            }
+        }
+        if let Ok(conns) = std::env::var("MINOBS_SVC_MAX_CONNS") {
+            if let Ok(n) = conns.trim().parse::<usize>() {
+                config.max_connections = n.clamp(1, 4096);
             }
         }
         if let Ok(path) = std::env::var("MINOBS_SVC_TRACE") {
@@ -250,7 +261,8 @@ pub fn serve(config: SvcConfig) -> io::Result<Server> {
     let acceptor = {
         let st = Arc::clone(&state);
         let tx = job_tx.clone();
-        thread::spawn(move || acceptor_loop(&listener, &st, &tx))
+        let max_connections = config.max_connections.max(1);
+        thread::spawn(move || acceptor_loop(&listener, &st, &tx, max_connections))
     };
 
     Ok(Server {
@@ -293,11 +305,27 @@ impl Server {
     }
 }
 
-fn acceptor_loop(listener: &TcpListener, state: &Arc<ServerState>, job_tx: &Sender<Job>) {
+fn acceptor_loop(
+    listener: &TcpListener,
+    state: &Arc<ServerState>,
+    job_tx: &Sender<Job>,
+    max_connections: usize,
+) {
     let mut connections: Vec<JoinHandle<()>> = Vec::new();
     while !state.draining() {
         match listener.accept() {
             Ok((stream, _)) => {
+                connections.retain(|handle| !handle.is_finished());
+                if connections.len() >= max_connections {
+                    // At the cap: answer with `busy` and hang up rather
+                    // than spawning an unbounded number of threads.
+                    let mut writer = &stream;
+                    let _ = wire::write_frame(
+                        &mut writer,
+                        &wire::err_response(0, "busy", "connection limit reached"),
+                    );
+                    continue;
+                }
                 let st = Arc::clone(state);
                 let tx = job_tx.clone();
                 connections.push(thread::spawn(move || serve_connection(stream, &st, &tx)));

@@ -121,7 +121,12 @@ pub mod channel {
         fn drop(&mut self) {
             if self.inner.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
                 // Last producer gone: wake blocked receivers so they can
-                // observe the disconnect.
+                // observe the disconnect. The lock is held while
+                // notifying so the disconnect cannot slip between a
+                // receiver's sender-count check and its wait (which
+                // would lose the wakeup and block that receiver
+                // forever).
+                let _queue = self.inner.lock();
                 self.inner.not_empty.notify_all();
             }
         }
@@ -140,6 +145,9 @@ pub mod channel {
         fn drop(&mut self) {
             if self.inner.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
                 // Last consumer gone: wake blocked senders to fail fast.
+                // Lock held while notifying for the same missed-wakeup
+                // reason as in `Sender::drop`.
+                let _queue = self.inner.lock();
                 self.inner.not_full.notify_all();
             }
         }
@@ -298,7 +306,7 @@ mod tests {
 
     #[test]
     fn spawn_and_join_collects_results() {
-        let data = vec![1u64, 2, 3, 4];
+        let data = [1u64, 2, 3, 4];
         let total = thread::scope(|scope| {
             let handles: Vec<_> = data
                 .chunks(2)
@@ -390,6 +398,26 @@ mod tests {
         let (tx, rx) = channel::unbounded();
         drop(rx);
         assert_eq!(tx.send(7u32), Err(channel::SendError(7)));
+    }
+
+    #[test]
+    fn last_sender_drop_always_wakes_blocked_receivers() {
+        // Regression for a missed-wakeup race: the last sender's drop
+        // used to notify without the queue lock, so the disconnect
+        // could land between a receiver's check and its wait, leaving
+        // the receiver blocked forever. Many iterations with receivers
+        // already parked make the old interleaving likely.
+        for _ in 0..200 {
+            let (tx, rx) = channel::unbounded::<u32>();
+            thread::scope(|scope| {
+                for _ in 0..2 {
+                    let rx = rx.clone();
+                    scope.spawn(move |_| assert_eq!(rx.recv(), Err(channel::RecvError)));
+                }
+                scope.spawn(move |_| drop(tx));
+            })
+            .unwrap();
+        }
     }
 
     #[test]
