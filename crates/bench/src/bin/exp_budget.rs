@@ -9,11 +9,13 @@
 //!   bivalency bound the paper cites as `\[AT99\]`;
 //! * the capped `A_w` decides within `k + 1` rounds on every member.
 
-use minobs_bench::{mark, Report};
+use minobs_bench::{mark, write_metrics_snapshot, Report};
 use minobs_core::prelude::*;
 use minobs_core::scenario::enumerate_gamma_lassos;
 use minobs_core::theorem::min_excluded_prefix;
-use minobs_synth::checker::{gamma_alphabet, solvable_by};
+use minobs_obs::{MetricsRecorder, MetricsRegistry};
+use minobs_synth::checker::{gamma_alphabet, solvable_by_with_recorder};
+use std::sync::Arc;
 
 fn main() {
     minobs_bench::cli::handle_common_flags(
@@ -34,6 +36,12 @@ fn main() {
         ],
     );
 
+    // Checker runs feed a metrics registry (frontier sizes, span
+    // durations, progress heartbeats); the snapshot lands next to the
+    // report for `trace diff`-style comparisons across revisions.
+    let registry = Arc::new(MetricsRegistry::new());
+    let mut metrics = MetricsRecorder::new(Arc::clone(&registry));
+
     let gamma = gamma_alphabet();
     for k in 0..=4usize {
         let scheme = classic::total_budget(k);
@@ -42,8 +50,8 @@ fn main() {
         let (p, w0) = min_excluded_prefix(&scheme, 6).unwrap();
         assert_eq!(p, k + 1);
 
-        let at_k = solvable_by(&scheme, k, &gamma).is_solvable();
-        let at_k1 = solvable_by(&scheme, k + 1, &gamma).is_solvable();
+        let at_k = solvable_by_with_recorder(&scheme, k, &gamma, &mut metrics).is_solvable();
+        let at_k1 = solvable_by_with_recorder(&scheme, k + 1, &gamma, &mut metrics).is_solvable();
         assert!(!at_k, "no k-round algorithm for budget k");
         assert!(at_k1, "a (k+1)-round algorithm exists");
 
@@ -66,6 +74,7 @@ fn main() {
         report.row(&[&k, &mark(true), &p, &mark(at_k), &mark(at_k1), &worst]);
     }
     minobs_bench::cli::require_artifact(report.finish());
+    write_metrics_snapshot("exp_budget", &registry.snapshot());
     println!(
         "\nThe classic 'f omissions ⇒ f+1 rounds' result, recovered as a one-line\n\
          corollary of the omission-scheme framework: Γ^(k+1) ⊄ Pref(B_k)."

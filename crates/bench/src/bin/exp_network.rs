@@ -7,10 +7,13 @@
 //! the cut adversary wins at `f = c(G)` — including on the families with
 //! `c(G) < deg(G)` where \[SW07\] left the question open.
 
-use minobs_bench::{mark, trace_sink_for, Report};
+use minobs_bench::{mark, trace_sink_for, write_metrics_snapshot, Report};
 use minobs_graphs::{cut_partition, edge_connectivity, generators, min_degree, Graph};
 use minobs_net::{DecisionRule, FloodConsensus};
-use minobs_obs::{NullRecorder, Recorder, RoundCounts, RoundTimer};
+use minobs_obs::{
+    MetricsRecorder, MetricsRegistry, NullRecorder, Recorder, RoundCounts, RoundTimer, TeeRecorder,
+};
+use std::sync::Arc;
 use minobs_sim::adversary::{BudgetChecked, CutAdversary, GreedyCutAdversary, RandomOmissions};
 use minobs_sim::network::run_network_with_recorder;
 use rand::rngs::StdRng;
@@ -87,6 +90,10 @@ fn main() {
     let mut trace = trace_sink_for("exp_network");
     let trace_path = trace.as_ref().map(|(_, path)| path.clone());
     let mut null = NullRecorder;
+    // Every run also feeds a metrics registry (tee'd with the trace sink
+    // when tracing is on); the snapshot lands next to the report.
+    let registry = Arc::new(MetricsRegistry::new());
+    let mut metrics = MetricsRecorder::new(Arc::clone(&registry));
 
     let mut report = Report::new(
         "network_threshold",
@@ -107,10 +114,12 @@ fn main() {
         let n = g.vertex_count();
         let c = edge_connectivity(&g);
         let d = min_degree(&g);
-        let recorder: &mut dyn Recorder = match trace.as_mut() {
+        let sink: &mut dyn Recorder = match trace.as_mut() {
             Some((sink, _)) => sink,
             None => &mut null,
         };
+        let mut tee = TeeRecorder::new(&mut metrics, sink);
+        let recorder: &mut dyn Recorder = &mut tee;
         // Below the threshold: every f < c must succeed (spot-check f = c-1
         // which dominates; smaller f only get easier).
         let below = if c > 0 {
@@ -155,10 +164,12 @@ fn main() {
     for (name, g) in families().into_iter().take(8) {
         let n = g.vertex_count();
         let inputs: Vec<u64> = (0..n as u64).collect();
-        let recorder: &mut dyn Recorder = match trace.as_mut() {
+        let sink: &mut dyn Recorder = match trace.as_mut() {
             Some((sink, _)) => sink,
             None => &mut null,
         };
+        let mut tee = TeeRecorder::new(&mut metrics, sink);
+        let recorder: &mut dyn Recorder = &mut tee;
         let nodes = FloodConsensus::fleet(&g, &inputs, DecisionRule::ValueOfMinId);
         let out =
             run_network_with_recorder(&g, nodes, &mut minobs_sim::adversary::NoFault, 2 * n, recorder);
@@ -208,6 +219,7 @@ fn main() {
         drop(sink);
         println!("[trace {} lines -> {}]", lines, path.display());
     }
+    write_metrics_snapshot("exp_network", &registry.snapshot());
     println!(
         "\nEarly deciding fixes the value at knowledge completion (≈ eccentricity)\n\
          while relaying continues to the n-1 deadline — the decisions coincide."

@@ -1,0 +1,432 @@
+//! Offline analytics over minobs JSONL traces.
+//!
+//! ```text
+//! trace profile <trace.jsonl> [--flamegraph OUT.folded]
+//! trace summary <trace.jsonl>
+//! trace diff <a.jsonl> <b.jsonl> [--threshold PCT]
+//! ```
+//!
+//! `profile` aggregates `span_start`/`span_end` pairs into per-name
+//! self/total times, reports what fraction of the trace's wall-clock
+//! (run and request durations) the root spans cover, and optionally
+//! writes collapsed flamegraph lines (`a;b;c <self-nanos>`) for
+//! `flamegraph.pl`-style renderers. It exits non-zero when the trace
+//! has no spans at all, so CI can assert instrumented binaries stay
+//! instrumented.
+//!
+//! `summary` counts events by kind, rounds, and messages by status.
+//!
+//! `diff` compares two profiles per span name; with `--threshold PCT`
+//! it exits non-zero when any span's total time regressed by more than
+//! that percentage, making it usable as a CI perf gate.
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  trace profile <trace.jsonl> [--flamegraph OUT.folded]\n  trace summary <trace.jsonl>\n  trace diff <a.jsonl> <b.jsonl> [--threshold PCT]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args = minobs_bench::cli::handle_common_flags(
+        "trace",
+        "span profiling, summaries, and regression diffs over JSONL traces",
+        "trace profile daemon.trace.jsonl",
+    );
+    match args.first().map(String::as_str) {
+        Some("profile") => profile_cmd(&args[1..]),
+        Some("summary") => summary_cmd(&args[1..]),
+        Some("diff") => diff_cmd(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn read_events(path: &str) -> Result<Vec<Value>, String> {
+    let text = std::fs::read_to_string(path).map_err(|err| format!("cannot read {path}: {err}"))?;
+    text.lines()
+        .enumerate()
+        .map(|(idx, line)| {
+            serde_json::from_str(line)
+                .map_err(|err| format!("{path} line {}: not valid JSON: {err}", idx + 1))
+        })
+        .collect()
+}
+
+/// Per-span-name aggregate over one trace.
+#[derive(Debug, Default, Clone)]
+struct SpanStat {
+    count: u64,
+    /// Sum of span durations, children included.
+    total_ns: u64,
+    /// Sum of span durations minus time spent in child spans.
+    self_ns: u64,
+}
+
+/// The profile of one trace: per-name stats, collapsed flamegraph paths
+/// keyed by `a;b;c` with self-time values, and the wall-clock anchors.
+#[derive(Debug, Default)]
+struct Profile {
+    by_name: BTreeMap<String, SpanStat>,
+    folded: BTreeMap<String, u64>,
+    /// Total duration of root spans (spans with nothing open above them).
+    root_ns: u64,
+    /// Wall-clock anchor: run durations plus request durations.
+    wall_ns: u64,
+    spans: u64,
+}
+
+fn profile(events: &[Value]) -> Result<Profile, String> {
+    struct Open {
+        span_id: u64,
+        name: String,
+        nanos_in_children: u64,
+    }
+    let mut out = Profile::default();
+    let mut stack: Vec<Open> = Vec::new();
+    for (idx, event) in events.iter().enumerate() {
+        let line_no = idx + 1;
+        match event.get("event").and_then(Value::as_str) {
+            Some("span_start") => {
+                let span_id = event
+                    .get("span_id")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("line {line_no}: span_start without span_id"))?;
+                let name = event
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("line {line_no}: span_start without name"))?;
+                stack.push(Open {
+                    span_id,
+                    name: name.to_string(),
+                    nanos_in_children: 0,
+                });
+            }
+            Some("span_end") => {
+                let span_id = event
+                    .get("span_id")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("line {line_no}: span_end without span_id"))?;
+                let nanos = event
+                    .get("nanos")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("line {line_no}: span_end without nanos"))?;
+                let open = stack
+                    .pop()
+                    .ok_or_else(|| format!("line {line_no}: span_end without span_start"))?;
+                if open.span_id != span_id {
+                    return Err(format!(
+                        "line {line_no}: span_end {span_id} crosses open span {} — run trace_lint",
+                        open.span_id
+                    ));
+                }
+                let self_ns = nanos.saturating_sub(open.nanos_in_children);
+                let stat = out.by_name.entry(open.name.clone()).or_default();
+                stat.count += 1;
+                stat.total_ns += nanos;
+                stat.self_ns += self_ns;
+                out.spans += 1;
+                let path = stack
+                    .iter()
+                    .map(|o| o.name.as_str())
+                    .chain([open.name.as_str()])
+                    .collect::<Vec<_>>()
+                    .join(";");
+                *out.folded.entry(path).or_default() += self_ns;
+                match stack.last_mut() {
+                    Some(parent) => parent.nanos_in_children += nanos,
+                    None => out.root_ns += nanos,
+                }
+            }
+            Some("run_end") | Some("svc_response") => {
+                out.wall_ns += event.get("nanos").and_then(Value::as_u64).unwrap_or(0);
+            }
+            _ => {}
+        }
+    }
+    if let Some(open) = stack.last() {
+        return Err(format!(
+            "{} span(s) still open at end of trace (innermost: {} {:?}) — run trace_lint",
+            stack.len(),
+            open.span_id,
+            open.name
+        ));
+    }
+    Ok(out)
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1_000_000.0
+}
+
+fn profile_cmd(args: &[String]) -> ExitCode {
+    let mut path = None;
+    let mut flamegraph = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--flamegraph" => match it.next() {
+                Some(out) => flamegraph = Some(out.clone()),
+                None => return usage(),
+            },
+            text if path.is_none() => path = Some(text.to_string()),
+            _ => return usage(),
+        }
+    }
+    let Some(path) = path else {
+        return usage();
+    };
+    let events = match read_events(&path) {
+        Ok(events) => events,
+        Err(err) => {
+            eprintln!("trace profile: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let prof = match profile(&events) {
+        Ok(prof) => prof,
+        Err(err) => {
+            eprintln!("trace profile: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if prof.spans == 0 {
+        eprintln!(
+            "trace profile: {path} has no spans — instrumented code paths never ran (or spans were stripped)"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    println!("trace profile: {path} ({} spans)", prof.spans);
+    println!(
+        "  {:<24} {:>8} {:>12} {:>12} {:>7}",
+        "span", "count", "total ms", "self ms", "total%"
+    );
+    let mut rows: Vec<(&String, &SpanStat)> = prof.by_name.iter().collect();
+    rows.sort_by_key(|row| std::cmp::Reverse(row.1.total_ns));
+    let span_total: u64 = prof.by_name.values().map(|s| s.self_ns).sum();
+    for (name, stat) in rows {
+        println!(
+            "  {:<24} {:>8} {:>12.3} {:>12.3} {:>6.1}%",
+            name,
+            stat.count,
+            ms(stat.total_ns),
+            ms(stat.self_ns),
+            stat.total_ns as f64 / prof.root_ns.max(1) as f64 * 100.0
+        );
+    }
+    if prof.wall_ns > 0 {
+        println!(
+            "  wall-clock {:.3} ms, root spans cover {:.1}%",
+            ms(prof.wall_ns),
+            prof.root_ns as f64 / prof.wall_ns as f64 * 100.0
+        );
+    } else {
+        println!(
+            "  no wall-clock anchor (no timed run_end/svc_response); span self-time {:.3} ms",
+            ms(span_total)
+        );
+    }
+
+    if let Some(out) = flamegraph {
+        let mut lines = String::new();
+        for (path, self_ns) in &prof.folded {
+            lines.push_str(&format!("{path} {self_ns}\n"));
+        }
+        if let Err(err) = std::fs::write(&out, lines) {
+            eprintln!("trace profile: cannot write {out}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("  [collapsed flamegraph written to {out}]");
+    }
+    ExitCode::SUCCESS
+}
+
+fn summary_cmd(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let events = match read_events(path) {
+        Ok(events) => events,
+        Err(err) => {
+            eprintln!("trace summary: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut kinds: BTreeMap<String, u64> = BTreeMap::new();
+    let mut message_status: BTreeMap<String, u64> = BTreeMap::new();
+    for event in &events {
+        let kind = event
+            .get("event")
+            .and_then(Value::as_str)
+            .unwrap_or("<missing>");
+        *kinds.entry(kind.to_string()).or_default() += 1;
+        if kind == "message" {
+            let status = event
+                .get("status")
+                .and_then(Value::as_str)
+                .unwrap_or("<missing>");
+            *message_status.entry(status.to_string()).or_default() += 1;
+        }
+    }
+    println!("trace summary: {path} ({} events)", events.len());
+    for (kind, count) in &kinds {
+        println!("  {kind:<20} {count}");
+    }
+    if !message_status.is_empty() {
+        println!("  messages by status:");
+        for (status, count) in &message_status {
+            println!("    {status:<18} {count}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn diff_cmd(args: &[String]) -> ExitCode {
+    let mut paths = Vec::new();
+    let mut threshold: Option<f64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => match it.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(pct) if pct >= 0.0 => threshold = Some(pct),
+                _ => return usage(),
+            },
+            text => paths.push(text.to_string()),
+        }
+    }
+    let [a_path, b_path] = paths.as_slice() else {
+        return usage();
+    };
+    let profiles: Result<Vec<Profile>, String> = [a_path, b_path]
+        .iter()
+        .map(|path| read_events(path).and_then(|events| profile(&events)))
+        .collect();
+    let [a, b] = match profiles {
+        Ok(pair) => <[Profile; 2]>::try_from(pair).expect("two profiles"),
+        Err(err) => {
+            eprintln!("trace diff: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("trace diff: {a_path} → {b_path}");
+    println!(
+        "  {:<24} {:>12} {:>12} {:>9}",
+        "span", "a total ms", "b total ms", "delta"
+    );
+    let mut regressed = Vec::new();
+    let names: std::collections::BTreeSet<&String> =
+        a.by_name.keys().chain(b.by_name.keys()).collect();
+    for name in names {
+        match (a.by_name.get(name), b.by_name.get(name)) {
+            (Some(sa), Some(sb)) => {
+                let delta = (sb.total_ns as f64 - sa.total_ns as f64)
+                    / (sa.total_ns.max(1)) as f64
+                    * 100.0;
+                println!(
+                    "  {:<24} {:>12.3} {:>12.3} {:>+8.1}%",
+                    name,
+                    ms(sa.total_ns),
+                    ms(sb.total_ns),
+                    delta
+                );
+                if threshold.map(|t| delta > t).unwrap_or(false) {
+                    regressed.push((name.clone(), delta));
+                }
+            }
+            (Some(sa), None) => {
+                println!(
+                    "  {:<24} {:>12.3} {:>12} {:>9}",
+                    name,
+                    ms(sa.total_ns),
+                    "-",
+                    "removed"
+                );
+            }
+            (None, Some(sb)) => {
+                println!(
+                    "  {:<24} {:>12} {:>12.3} {:>9}",
+                    name,
+                    "-",
+                    ms(sb.total_ns),
+                    "new"
+                );
+            }
+            (None, None) => unreachable!("name came from one of the profiles"),
+        }
+    }
+    if !regressed.is_empty() {
+        let threshold = threshold.unwrap_or(0.0);
+        for (name, delta) in &regressed {
+            eprintln!("trace diff: {name} regressed {delta:+.1}% (threshold {threshold}%)");
+        }
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(text: &str) -> Value {
+        serde_json::from_str(text).unwrap()
+    }
+
+    #[test]
+    fn profile_attributes_self_and_total_time() {
+        let events = vec![
+            event(r#"{"event":"span_start","round":0,"span_id":0,"parent":null,"name":"outer"}"#),
+            event(r#"{"event":"span_start","round":0,"span_id":1,"parent":0,"name":"inner"}"#),
+            event(r#"{"event":"span_end","round":0,"span_id":1,"name":"inner","nanos":300}"#),
+            event(r#"{"event":"span_start","round":0,"span_id":2,"parent":0,"name":"inner"}"#),
+            event(r#"{"event":"span_end","round":0,"span_id":2,"name":"inner","nanos":200}"#),
+            event(r#"{"event":"span_end","round":0,"span_id":0,"name":"outer","nanos":1000}"#),
+            event(r#"{"event":"run_end","round":3,"sent":0,"delivered":0,"dropped":0,"misaddressed":0,"nanos":1100}"#),
+        ];
+        let prof = profile(&events).unwrap();
+        assert_eq!(prof.spans, 3);
+        let outer = &prof.by_name["outer"];
+        assert_eq!((outer.count, outer.total_ns, outer.self_ns), (1, 1000, 500));
+        let inner = &prof.by_name["inner"];
+        assert_eq!((inner.count, inner.total_ns, inner.self_ns), (2, 500, 500));
+        // Only the outer span is a root; the wall anchor is the run_end.
+        assert_eq!(prof.root_ns, 1000);
+        assert_eq!(prof.wall_ns, 1100);
+        assert_eq!(prof.folded["outer"], 500);
+        assert_eq!(prof.folded["outer;inner"], 500);
+    }
+
+    #[test]
+    fn profile_rejects_malformed_spans() {
+        let crossed = vec![
+            event(r#"{"event":"span_start","round":0,"span_id":0,"parent":null,"name":"a"}"#),
+            event(r#"{"event":"span_start","round":0,"span_id":1,"parent":0,"name":"b"}"#),
+            event(r#"{"event":"span_end","round":0,"span_id":0,"name":"a","nanos":1}"#),
+        ];
+        assert!(profile(&crossed).unwrap_err().contains("crosses"));
+
+        let unclosed = vec![event(
+            r#"{"event":"span_start","round":0,"span_id":0,"parent":null,"name":"a"}"#,
+        )];
+        assert!(profile(&unclosed).unwrap_err().contains("still open"));
+    }
+
+    #[test]
+    fn svc_responses_anchor_the_wall_clock() {
+        let events = vec![
+            event(r#"{"event":"span_start","round":0,"span_id":0,"parent":null,"name":"rpc.stats"}"#),
+            event(r#"{"event":"span_end","round":0,"span_id":0,"name":"rpc.stats","nanos":90}"#),
+            event(
+                r#"{"event":"svc_response","round":0,"seq":0,"method":"stats","ok":true,"cache":"none","nanos":100}"#,
+            ),
+        ];
+        let prof = profile(&events).unwrap();
+        assert_eq!(prof.wall_ns, 100);
+        assert_eq!(prof.root_ns, 90);
+    }
+}

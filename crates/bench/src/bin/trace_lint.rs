@@ -13,7 +13,14 @@
 //!    earlier `svc_request` with the same `seq` and `method`, carries a
 //!    known cache disposition, and no request is left unanswered at the
 //!    end of the trace (the daemon drains before exiting). Service
-//!    events live outside runs — the daemon trace carries only them.
+//!    events live outside runs — the daemon trace carries only them;
+//! 5. profiling spans are well formed: every `span_start` is closed by a
+//!    `span_end` with the same id and name, span ids are unique within
+//!    their run (each engine run restarts its `SpanIds` at 0; runless
+//!    daemon traces get one stream-wide scope), spans bracket properly
+//!    (a `span_end` always closes the innermost open span, and a
+//!    declared `parent` is exactly that enclosing span), and nothing is
+//!    left open at end of file.
 //!
 //! Exits non-zero with a description of the first violation. CI runs this
 //! over the trace emitted by `exp_network` under `MINOBS_TRACE=1` and
@@ -21,7 +28,7 @@
 
 use minobs_obs::SCHEMA;
 use serde_json::Value;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::process::ExitCode;
 
 #[derive(Debug, Default)]
@@ -46,6 +53,9 @@ fn lint(text: &str) -> Result<(usize, usize), String> {
     let mut current: Option<RunTally> = None;
     // In-flight service requests: seq → method.
     let mut pending_svc: HashMap<u64, String> = HashMap::new();
+    // Open profiling spans, innermost last: (span_id, name).
+    let mut span_stack: Vec<(u64, String)> = Vec::new();
+    let mut span_ids_seen: HashSet<u64> = HashSet::new();
 
     for (idx, line) in text.lines().enumerate() {
         let line_no = idx + 1;
@@ -74,6 +84,13 @@ fn lint(text: &str) -> Result<(usize, usize), String> {
             "run_start" => {
                 if current.is_some() {
                     return Err(format!("line {line_no}: run_start inside an open run"));
+                }
+                // Each engine run constructs a fresh `SpanIds`, so span-id
+                // uniqueness is scoped to the run bracket. Only reset the
+                // scope when no span is open (a still-open outer span keeps
+                // its id reserved).
+                if span_stack.is_empty() {
+                    span_ids_seen.clear();
                 }
                 current = Some(RunTally::default());
             }
@@ -205,12 +222,63 @@ fn lint(text: &str) -> Result<(usize, usize), String> {
                 }
                 field_u64(&value, "nanos", line_no)?;
             }
-            // decision/span/checker_round/horizon need no cross-checks here.
+            "span_start" => {
+                let span_id = field_u64(&value, "span_id", line_no)?;
+                let name = value
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("line {line_no}: span_start missing \"name\""))?;
+                if !span_ids_seen.insert(span_id) {
+                    return Err(format!(
+                        "line {line_no}: span id {span_id} reused (ids must be unique within a run)"
+                    ));
+                }
+                if let Some(parent) = value.get("parent").and_then(Value::as_u64) {
+                    match span_stack.last() {
+                        Some((open_id, _)) if *open_id == parent => {}
+                        Some((open_id, _)) => {
+                            return Err(format!(
+                                "line {line_no}: span {span_id} declares parent {parent} but the enclosing open span is {open_id}"
+                            ));
+                        }
+                        None => {
+                            return Err(format!(
+                                "line {line_no}: span {span_id} declares parent {parent} but no span is open"
+                            ));
+                        }
+                    }
+                }
+                span_stack.push((span_id, name.to_string()));
+            }
+            "span_end" => {
+                let span_id = field_u64(&value, "span_id", line_no)?;
+                let name = value
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("line {line_no}: span_end missing \"name\""))?;
+                field_u64(&value, "nanos", line_no)?;
+                let (open_id, open_name) = span_stack.pop().ok_or_else(|| {
+                    format!("line {line_no}: span_end {span_id} without an open span")
+                })?;
+                if open_id != span_id || open_name != name {
+                    return Err(format!(
+                        "line {line_no}: span_end {span_id} {name:?} does not close the innermost open span {open_id} {open_name:?}"
+                    ));
+                }
+            }
+            // decision/span/checker_round/checker_progress/horizon need no
+            // cross-checks here.
             _ => {}
         }
     }
     if current.is_some() {
         return Err("trace ends inside an open run (no final run_end)".to_string());
+    }
+    if let Some((span_id, name)) = span_stack.last() {
+        return Err(format!(
+            "{} span(s) never closed at end of file (innermost: {span_id} {name:?})",
+            span_stack.len()
+        ));
     }
     if !pending_svc.is_empty() {
         let mut seqs: Vec<u64> = pending_svc.keys().copied().collect();
@@ -376,6 +444,89 @@ mod tests {
         .map(line)
         .join("\n");
         assert!(lint(&dup_seq).unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn accepts_well_formed_nested_spans() {
+        let text = [
+            r#"{"schema":"SCHEMA","event":"span_start","round":0,"span_id":0,"parent":null,"name":"outer"}"#,
+            r#"{"schema":"SCHEMA","event":"span_start","round":0,"span_id":1,"parent":0,"name":"inner"}"#,
+            r#"{"schema":"SCHEMA","event":"span_end","round":0,"span_id":1,"name":"inner","nanos":50}"#,
+            r#"{"schema":"SCHEMA","event":"span_end","round":0,"span_id":0,"name":"outer","nanos":120}"#,
+        ]
+        .map(line)
+        .join("\n");
+        assert_eq!(lint(&text), Ok((4, 0)));
+    }
+
+    #[test]
+    fn span_ids_may_restart_across_runs() {
+        // Each engine run constructs a fresh `SpanIds`, so consecutive
+        // runs in one trace legitimately reuse id 0 — the uniqueness
+        // scope is the run bracket, not the whole stream.
+        let text = [
+            r#"{"schema":"SCHEMA","event":"run_start","round":0,"engine":"network","nodes":2,"threads":1}"#,
+            r#"{"schema":"SCHEMA","event":"span_start","round":0,"span_id":0,"parent":null,"name":"net_send"}"#,
+            r#"{"schema":"SCHEMA","event":"span_end","round":0,"span_id":0,"name":"net_send","nanos":10}"#,
+            r#"{"schema":"SCHEMA","event":"round_end","round":0,"sent":0,"delivered":0,"dropped":0,"misaddressed":0,"nanos":1}"#,
+            r#"{"schema":"SCHEMA","event":"run_end","round":1,"sent":0,"delivered":0,"dropped":0,"misaddressed":0,"nanos":2}"#,
+            r#"{"schema":"SCHEMA","event":"run_start","round":0,"engine":"network","nodes":2,"threads":1}"#,
+            r#"{"schema":"SCHEMA","event":"span_start","round":0,"span_id":0,"parent":null,"name":"net_send"}"#,
+            r#"{"schema":"SCHEMA","event":"span_end","round":0,"span_id":0,"name":"net_send","nanos":10}"#,
+            r#"{"schema":"SCHEMA","event":"round_end","round":0,"sent":0,"delivered":0,"dropped":0,"misaddressed":0,"nanos":1}"#,
+            r#"{"schema":"SCHEMA","event":"run_end","round":1,"sent":0,"delivered":0,"dropped":0,"misaddressed":0,"nanos":2}"#,
+        ]
+        .map(line)
+        .join("\n");
+        assert_eq!(lint(&text), Ok((10, 2)));
+    }
+
+    #[test]
+    fn rejects_span_violations() {
+        let reused_id = [
+            r#"{"schema":"SCHEMA","event":"span_start","round":0,"span_id":5,"parent":null,"name":"a"}"#,
+            r#"{"schema":"SCHEMA","event":"span_end","round":0,"span_id":5,"name":"a","nanos":1}"#,
+            r#"{"schema":"SCHEMA","event":"span_start","round":1,"span_id":5,"parent":null,"name":"a"}"#,
+            r#"{"schema":"SCHEMA","event":"span_end","round":1,"span_id":5,"name":"a","nanos":1}"#,
+        ]
+        .map(line)
+        .join("\n");
+        assert!(lint(&reused_id).unwrap_err().contains("reused"));
+
+        let crossed = [
+            r#"{"schema":"SCHEMA","event":"span_start","round":0,"span_id":0,"parent":null,"name":"a"}"#,
+            r#"{"schema":"SCHEMA","event":"span_start","round":0,"span_id":1,"parent":0,"name":"b"}"#,
+            r#"{"schema":"SCHEMA","event":"span_end","round":0,"span_id":0,"name":"a","nanos":1}"#,
+        ]
+        .map(line)
+        .join("\n");
+        assert!(lint(&crossed).unwrap_err().contains("innermost"));
+
+        let renamed = [
+            r#"{"schema":"SCHEMA","event":"span_start","round":0,"span_id":0,"parent":null,"name":"a"}"#,
+            r#"{"schema":"SCHEMA","event":"span_end","round":0,"span_id":0,"name":"b","nanos":1}"#,
+        ]
+        .map(line)
+        .join("\n");
+        assert!(lint(&renamed).unwrap_err().contains("innermost"));
+
+        let orphan_end = line(
+            r#"{"schema":"SCHEMA","event":"span_end","round":0,"span_id":9,"name":"x","nanos":1}"#,
+        );
+        assert!(lint(&orphan_end).unwrap_err().contains("without an open span"));
+
+        let bad_parent = [
+            r#"{"schema":"SCHEMA","event":"span_start","round":0,"span_id":0,"parent":null,"name":"a"}"#,
+            r#"{"schema":"SCHEMA","event":"span_start","round":0,"span_id":1,"parent":7,"name":"b"}"#,
+        ]
+        .map(line)
+        .join("\n");
+        assert!(lint(&bad_parent).unwrap_err().contains("parent"));
+
+        let unclosed = line(
+            r#"{"schema":"SCHEMA","event":"span_start","round":0,"span_id":0,"parent":null,"name":"a"}"#,
+        );
+        assert!(lint(&unclosed).unwrap_err().contains("never closed"));
     }
 
     #[test]

@@ -47,6 +47,38 @@ pub fn trace_sink_for(id: &str) -> Option<(JsonlSink<BufWriter<File>>, PathBuf)>
     }
 }
 
+/// Writes a metrics snapshot next to the experiment's report, as
+/// `<experiment_dir>/<id>.metrics.json`. Returns the path on success;
+/// failures are reported to stderr and swallowed so a full disk never
+/// sinks the run that produced the numbers.
+pub fn write_metrics_snapshot(id: &str, snapshot: &Value) -> Option<PathBuf> {
+    let dir = experiment_dir();
+    if let Err(err) = fs::create_dir_all(&dir) {
+        eprintln!(
+            "minobs-bench: cannot create artifact dir {}: {err}",
+            dir.display()
+        );
+        return None;
+    }
+    let path = dir.join(format!("{id}.metrics.json"));
+    let json = match serde_json::to_string_pretty(snapshot) {
+        Ok(json) => json,
+        Err(err) => {
+            eprintln!("minobs-bench: metrics serialisation failed: {err}");
+            return None;
+        }
+    };
+    if let Err(err) = fs::write(&path, json) {
+        eprintln!(
+            "minobs-bench: cannot write metrics snapshot {}: {err}",
+            path.display()
+        );
+        return None;
+    }
+    println!("[metrics snapshot {}]", path.display());
+    Some(path)
+}
+
 /// A rendered experiment table plus its JSON sink.
 pub struct Report {
     id: String,
@@ -255,6 +287,19 @@ mod tests {
                 .and_then(Value::as_str),
             Some("target/experiments/selftest.trace.jsonl")
         );
+    }
+
+    #[test]
+    fn metrics_snapshot_lands_next_to_the_report() {
+        let mut counters = Map::new();
+        counters.insert("x", Value::from(1u64));
+        let mut root = Map::new();
+        root.insert("counters", Value::Object(counters));
+        let snapshot = Value::Object(root);
+        let path = write_metrics_snapshot("selftest_metrics", &snapshot).expect("written");
+        assert!(path.ends_with("selftest_metrics.metrics.json"));
+        let read: Value = serde_json::from_str(&std::fs::read_to_string(path).unwrap()).unwrap();
+        assert_eq!(read, snapshot);
     }
 
     #[test]

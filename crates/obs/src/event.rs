@@ -112,6 +112,44 @@ pub enum TraceEvent {
         /// Wall-clock nanoseconds.
         nanos: u64,
     },
+    /// A profiling span opened. Closed by the [`TraceEvent::SpanEnd`]
+    /// carrying the same `span_id`; spans nest properly per stream.
+    SpanStart {
+        /// Round the span is attributed to.
+        round: usize,
+        /// Monotone identifier, unique within the emitting run (see
+        /// [`crate::SpanIds`]; runless daemon traces carve disjoint
+        /// per-request blocks, making ids stream-unique there).
+        span_id: u64,
+        /// `span_id` of the enclosing open span, if any.
+        parent: Option<u64>,
+        /// Stable section name, e.g. `"checker_expand"`.
+        name: String,
+    },
+    /// A profiling span closed, with its measured duration.
+    SpanEnd {
+        /// Round the span is attributed to.
+        round: usize,
+        /// Identifier of the span being closed.
+        span_id: u64,
+        /// Section name, echoed from the matching start.
+        name: String,
+        /// Wall-clock nanoseconds between start and end (never 0 when the
+        /// span was actually timed).
+        nanos: u64,
+    },
+    /// Periodic heartbeat from a long model-checker sweep: cumulative
+    /// work so far, emitted each time the explored-state count crosses
+    /// another stride so multi-minute runs stay watchable.
+    CheckerProgress {
+        /// Frontier depth at the heartbeat (1-based, matches
+        /// `checker_round`).
+        round: usize,
+        /// Execution states currently in the frontier.
+        frontier: usize,
+        /// Cumulative execution states explored so far.
+        states: usize,
+    },
     /// One level-synchronous frontier step of the bounded model checker.
     CheckerRound {
         /// Prefix length just explored (1-based, matches horizon depth).
@@ -195,6 +233,9 @@ impl TraceEvent {
             TraceEvent::Decision { .. } => "decision",
             TraceEvent::RoundEnd { .. } => "round_end",
             TraceEvent::Span { .. } => "span",
+            TraceEvent::SpanStart { .. } => "span_start",
+            TraceEvent::SpanEnd { .. } => "span_end",
+            TraceEvent::CheckerProgress { .. } => "checker_progress",
             TraceEvent::CheckerRound { .. } => "checker_round",
             TraceEvent::Horizon { .. } => "horizon",
             TraceEvent::EngineDegraded { .. } => "engine_degraded",
@@ -216,6 +257,9 @@ impl TraceEvent {
             | TraceEvent::Decision { round, .. }
             | TraceEvent::RoundEnd { round, .. }
             | TraceEvent::Span { round, .. }
+            | TraceEvent::SpanStart { round, .. }
+            | TraceEvent::SpanEnd { round, .. }
+            | TraceEvent::CheckerProgress { round, .. }
             | TraceEvent::CheckerRound { round, .. }
             | TraceEvent::EngineDegraded { round, .. } => round,
             TraceEvent::Horizon { horizon, .. } | TraceEvent::BudgetExhausted { horizon, .. } => {
@@ -262,6 +306,35 @@ impl TraceEvent {
             TraceEvent::Span { name, nanos, .. } => {
                 map.insert("name".to_string(), Value::from(name.as_str()));
                 map.insert("nanos".to_string(), Value::from(*nanos));
+            }
+            TraceEvent::SpanStart {
+                span_id,
+                parent,
+                name,
+                ..
+            } => {
+                map.insert("span_id".to_string(), Value::from(*span_id));
+                map.insert(
+                    "parent".to_string(),
+                    parent.map_or(Value::Null, Value::from),
+                );
+                map.insert("name".to_string(), Value::from(name.as_str()));
+            }
+            TraceEvent::SpanEnd {
+                span_id,
+                name,
+                nanos,
+                ..
+            } => {
+                map.insert("span_id".to_string(), Value::from(*span_id));
+                map.insert("name".to_string(), Value::from(name.as_str()));
+                map.insert("nanos".to_string(), Value::from(*nanos));
+            }
+            TraceEvent::CheckerProgress {
+                frontier, states, ..
+            } => {
+                map.insert("frontier".to_string(), Value::from(*frontier as u64));
+                map.insert("states".to_string(), Value::from(*states as u64));
             }
             TraceEvent::CheckerRound {
                 frontier,
@@ -363,6 +436,23 @@ mod tests {
                 name: "adversary_select".to_string(),
                 nanos: 5,
             },
+            TraceEvent::SpanStart {
+                round: 1,
+                span_id: 0,
+                parent: None,
+                name: "net_send".to_string(),
+            },
+            TraceEvent::SpanEnd {
+                round: 1,
+                span_id: 0,
+                name: "net_send".to_string(),
+                nanos: 77,
+            },
+            TraceEvent::CheckerProgress {
+                round: 5,
+                frontier: 320,
+                states: 8192,
+            },
             TraceEvent::CheckerRound {
                 round: 1,
                 frontier: 9,
@@ -432,6 +522,27 @@ mod tests {
         assert_eq!(back.get("sent").and_then(Value::as_u64), Some(10));
         assert_eq!(back.get("dropped").and_then(Value::as_u64), Some(2));
         assert_eq!(back.get("event").and_then(Value::as_str), Some("round_end"));
+    }
+
+    #[test]
+    fn span_start_serialises_parent_as_null_or_id() {
+        let root = TraceEvent::SpanStart {
+            round: 0,
+            span_id: 3,
+            parent: None,
+            name: "net_send".to_string(),
+        };
+        assert_eq!(root.to_json().get("parent"), Some(&Value::Null));
+
+        let child = TraceEvent::SpanStart {
+            round: 0,
+            span_id: 4,
+            parent: Some(3),
+            name: "net_send".to_string(),
+        };
+        let json = child.to_json();
+        assert_eq!(json.get("parent").and_then(Value::as_u64), Some(3));
+        assert_eq!(json.get("span_id").and_then(Value::as_u64), Some(4));
     }
 
     #[test]

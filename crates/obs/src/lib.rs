@@ -27,11 +27,13 @@ mod event;
 mod metrics;
 mod recorder;
 mod sink;
+mod span;
 
 pub use event::{MessageStatus, RoundCounts, TraceEvent, SCHEMA};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRecorder, MetricsRegistry};
-pub use recorder::{MemoryRecorder, NullRecorder, Recorder, TeeRecorder};
+pub use recorder::{replay_event, MemoryRecorder, NullRecorder, Recorder, TeeRecorder};
 pub use sink::{resolve_trace_value, trace_path_from_env, JsonlSink};
+pub use span::{SpanGuard, SpanIds};
 
 use std::time::Instant;
 

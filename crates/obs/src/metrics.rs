@@ -88,12 +88,17 @@ impl Histogram {
 
     /// Upper bounds suited to round/horizon latencies, 1µs .. 10s.
     pub fn latency_bounds() -> Vec<u64> {
-        // Powers of ten in nanoseconds with 1-3 subdivisions.
+        // Powers of ten in nanoseconds with 1-3 subdivisions, capped at
+        // the documented 10 s upper bound.
+        const MAX_BOUND: u64 = 10_000_000_000;
         let mut bounds = Vec::new();
         let mut decade: u64 = 1_000;
-        while decade <= 10_000_000_000 {
+        while decade <= MAX_BOUND {
             bounds.push(decade);
-            bounds.push(decade.saturating_mul(3));
+            let three = decade.saturating_mul(3);
+            if three <= MAX_BOUND {
+                bounds.push(three);
+            }
             decade = decade.saturating_mul(10);
         }
         bounds
@@ -136,6 +141,50 @@ impl Histogram {
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect()
+    }
+
+    /// The configured upper bounds (the overflow bucket is implicit).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Estimates the `q`-quantile (`q` in `0.0..=1.0`, clamped) by linear
+    /// interpolation inside the bucket where the cumulative count crosses
+    /// `q * count` — the same estimate Prometheus's `histogram_quantile`
+    /// computes. Quantiles landing in the overflow bucket report the
+    /// highest finite bound. Returns `None` for an empty histogram.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let target = q.clamp(0.0, 1.0) * total as f64;
+        let highest_finite = || match self.bounds.last() {
+            Some(&bound) => bound as f64,
+            // Degenerate no-bounds histogram: the mean is all we have.
+            None => self.sum() as f64 / total as f64,
+        };
+        let mut cumulative = 0u64;
+        for (index, &bucket) in counts.iter().enumerate() {
+            let before = cumulative;
+            cumulative += bucket;
+            if bucket == 0 || (cumulative as f64) < target {
+                continue;
+            }
+            if index == self.bounds.len() {
+                return Some(highest_finite());
+            }
+            let lower = if index == 0 {
+                0.0
+            } else {
+                self.bounds[index - 1] as f64
+            };
+            let upper = self.bounds[index] as f64;
+            let fraction = ((target - before as f64) / bucket as f64).clamp(0.0, 1.0);
+            return Some(lower + fraction * (upper - lower));
+        }
+        Some(highest_finite())
     }
 
     fn snapshot(&self) -> Value {
@@ -196,6 +245,73 @@ impl MetricsRegistry {
             .clone()
     }
 
+    /// Handles to every registered histogram, for quantile summaries.
+    pub fn histograms(&self) -> Vec<(String, Arc<Histogram>)> {
+        self.histograms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(name, histogram)| (name.clone(), Arc::clone(histogram)))
+            .collect()
+    }
+
+    /// Renders every instrument in the Prometheus text exposition format:
+    /// `# HELP` / `# TYPE` headers, counters and gauges as single samples,
+    /// histograms as cumulative `_bucket{le="..."}` series (ending in
+    /// `+Inf`) plus `_sum` and `_count`. Metric names are sanitised to the
+    /// Prometheus charset (`.` becomes `_`); the original registry name is
+    /// kept in the `# HELP` line.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+
+        fn sanitise(name: &str) -> String {
+            name.chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
+                .collect()
+        }
+
+        let mut out = String::new();
+        for (name, counter) in self.counters.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+            let id = sanitise(name);
+            let _ = writeln!(out, "# HELP {id} minobs counter `{name}`");
+            let _ = writeln!(out, "# TYPE {id} counter");
+            let _ = writeln!(out, "{id} {}", counter.get());
+        }
+        for (name, gauge) in self.gauges.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+            let id = sanitise(name);
+            let _ = writeln!(out, "# HELP {id} minobs gauge `{name}`");
+            let _ = writeln!(out, "# TYPE {id} gauge");
+            let _ = writeln!(out, "{id} {}", gauge.get());
+        }
+        for (name, histogram) in self
+            .histograms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+        {
+            let id = sanitise(name);
+            let _ = writeln!(out, "# HELP {id} minobs histogram `{name}`");
+            let _ = writeln!(out, "# TYPE {id} histogram");
+            let counts = histogram.bucket_counts();
+            let mut cumulative = 0u64;
+            for (bound, count) in histogram.bounds().iter().zip(&counts) {
+                cumulative += count;
+                let _ = writeln!(out, "{id}_bucket{{le=\"{bound}\"}} {cumulative}");
+            }
+            cumulative += counts.last().copied().unwrap_or(0);
+            let _ = writeln!(out, "{id}_bucket{{le=\"+Inf\"}} {cumulative}");
+            let _ = writeln!(out, "{id}_sum {}", histogram.sum());
+            let _ = writeln!(out, "{id}_count {cumulative}");
+        }
+        out
+    }
+
     /// A point-in-time JSON snapshot of every instrument, keyed by name.
     pub fn snapshot(&self) -> Value {
         let mut root = Map::new();
@@ -240,9 +356,13 @@ impl MetricsRegistry {
 /// | `checker.round_latency_ns` | histogram | `checker_round` nanos (when timed) |
 /// | `checker.horizons` | counter | every `horizon` |
 /// | `checker.horizon_latency_ns` | histogram | `horizon` nanos (when timed) |
+/// | `checker.states` | gauge (max) | every `checker_progress` (cumulative states) |
+/// | `checker.heartbeats` | counter | every `checker_progress` |
+/// | `span.{name}.duration_ns` | histogram | every timed `span_end`, per span name |
 /// | `svc.requests` | counter | every `svc_request` |
 /// | `svc.responses_{ok,err}` | counter | every `svc_response` by outcome |
 /// | `svc.request_latency_ns` | histogram | `svc_response` nanos (when timed) |
+/// | `svc.method.{method}.latency_ns` | histogram | timed `svc_response`, per method |
 ///
 /// The service's verdict cache feeds `svc.cache_{hits,misses,subsumptions}`
 /// counters directly (not through the event stream) so the totals stay
@@ -262,10 +382,17 @@ pub struct MetricsRecorder {
     checker_round_latency: Arc<Histogram>,
     horizons: Arc<Counter>,
     horizon_latency: Arc<Histogram>,
+    checker_states: Arc<Gauge>,
+    checker_heartbeats: Arc<Counter>,
     svc_requests: Arc<Counter>,
     svc_responses_ok: Arc<Counter>,
     svc_responses_err: Arc<Counter>,
     svc_request_latency: Arc<Histogram>,
+    /// Lazily created per-span-name and per-method histograms, cached so
+    /// the hot path resolves each name through the registry lock once.
+    span_latency: BTreeMap<String, Arc<Histogram>>,
+    method_latency: BTreeMap<String, Arc<Histogram>>,
+    latency_bounds: Vec<u64>,
 }
 
 impl MetricsRecorder {
@@ -287,10 +414,15 @@ impl MetricsRecorder {
             checker_round_latency: registry.histogram("checker.round_latency_ns", &latency),
             horizons: registry.counter("checker.horizons"),
             horizon_latency: registry.histogram("checker.horizon_latency_ns", &latency),
+            checker_states: registry.gauge("checker.states"),
+            checker_heartbeats: registry.counter("checker.heartbeats"),
             svc_requests: registry.counter("svc.requests"),
             svc_responses_ok: registry.counter("svc.responses_ok"),
             svc_responses_err: registry.counter("svc.responses_err"),
             svc_request_latency: registry.histogram("svc.request_latency_ns", &latency),
+            span_latency: BTreeMap::new(),
+            method_latency: BTreeMap::new(),
+            latency_bounds: latency,
             registry,
         }
     }
@@ -298,6 +430,31 @@ impl MetricsRecorder {
     /// The backing registry.
     pub fn registry(&self) -> &Arc<MetricsRegistry> {
         &self.registry
+    }
+
+    fn span_histogram(&mut self, name: &str) -> Arc<Histogram> {
+        if let Some(histogram) = self.span_latency.get(name) {
+            return Arc::clone(histogram);
+        }
+        let histogram = self
+            .registry
+            .histogram(&format!("span.{name}.duration_ns"), &self.latency_bounds);
+        self.span_latency
+            .insert(name.to_string(), Arc::clone(&histogram));
+        histogram
+    }
+
+    fn method_histogram(&mut self, method: &str) -> Arc<Histogram> {
+        if let Some(histogram) = self.method_latency.get(method) {
+            return Arc::clone(histogram);
+        }
+        let histogram = self.registry.histogram(
+            &format!("svc.method.{method}.latency_ns"),
+            &self.latency_bounds,
+        );
+        self.method_latency
+            .insert(method.to_string(), Arc::clone(&histogram));
+        histogram
     }
 }
 
@@ -320,6 +477,21 @@ impl Recorder for MetricsRecorder {
         if nanos > 0 {
             self.round_latency.observe(nanos);
         }
+    }
+
+    fn on_span_start(&mut self, _round: usize, _span_id: u64, _parent: Option<u64>, _name: &str) {
+        // Spans only feed metrics on close, when the duration is known.
+    }
+
+    fn on_span_end(&mut self, _round: usize, _span_id: u64, name: &str, nanos: u64) {
+        if nanos > 0 {
+            self.span_histogram(name).observe(nanos);
+        }
+    }
+
+    fn on_checker_progress(&mut self, _round: usize, _frontier: usize, states: usize) {
+        self.checker_heartbeats.inc();
+        self.checker_states.ratchet_max(states as u64);
     }
 
     fn on_checker_round(&mut self, _round: usize, frontier: usize, views: usize, nanos: u64) {
@@ -345,7 +517,7 @@ impl Recorder for MetricsRecorder {
         self.svc_requests.inc();
     }
 
-    fn on_svc_response(&mut self, _seq: u64, _method: &str, ok: bool, _cache: &'static str, nanos: u64) {
+    fn on_svc_response(&mut self, _seq: u64, method: &str, ok: bool, _cache: &'static str, nanos: u64) {
         if ok {
             self.svc_responses_ok.inc();
         } else {
@@ -353,6 +525,7 @@ impl Recorder for MetricsRecorder {
         }
         if nanos > 0 {
             self.svc_request_latency.observe(nanos);
+            self.method_histogram(method).observe(nanos);
         }
     }
 }
@@ -425,6 +598,161 @@ mod tests {
                 .count(),
             1
         );
+    }
+
+    #[test]
+    fn latency_bounds_stay_inside_the_documented_range() {
+        let bounds = Histogram::latency_bounds();
+        assert_eq!(bounds.first().copied(), Some(1_000), "1µs lower bound");
+        assert_eq!(
+            bounds.last().copied(),
+            Some(10_000_000_000),
+            "10s upper bound — no 30s stray bucket"
+        );
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn quantile_interpolates_within_the_crossing_bucket() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        for v in [5u64, 10, 20, 40, 60, 80, 500, 5000] {
+            h.observe(v);
+        }
+        // 8 samples: per-bucket counts [2, 4, 1, 1], cumulative [2, 6, 7, 8].
+        // q=0.5 -> target 4.0 crosses in bucket (10,100]: lower 10,
+        // fraction (4-2)/4 = 0.5 -> 10 + 0.5*90 = 55.
+        assert_eq!(h.quantile(0.5), Some(55.0));
+        // q=0 lands at the lower edge of the first non-empty bucket.
+        assert_eq!(h.quantile(0.0), Some(0.0));
+        // q in the overflow bucket reports the highest finite bound.
+        assert_eq!(h.quantile(1.0), Some(1000.0));
+        // Out-of-range q clamps rather than panicking.
+        assert_eq!(h.quantile(7.0), Some(1000.0));
+        assert_eq!(h.quantile(-1.0), Some(0.0));
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none() {
+        let h = Histogram::new(&[10]);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_without_bounds_degenerates_to_the_mean() {
+        let h = Histogram::new(&[]);
+        h.observe(10);
+        h.observe(30);
+        assert_eq!(h.quantile(0.5), Some(20.0));
+    }
+
+    #[test]
+    fn render_text_exposes_cumulative_buckets_summing_to_count() {
+        let registry = MetricsRegistry::new();
+        registry.counter("svc.requests").add(3);
+        registry.gauge("checker.views").set(9);
+        let h = registry.histogram("engine.round_latency_ns", &[10, 100]);
+        h.observe(5);
+        h.observe(50);
+        h.observe(5000);
+
+        let text = registry.render_text();
+        assert!(text.contains("# TYPE svc_requests counter"));
+        assert!(text.contains("svc_requests 3"));
+        assert!(text.contains("# TYPE checker_views gauge"));
+        assert!(text.contains("# HELP engine_round_latency_ns minobs histogram `engine.round_latency_ns`"));
+        assert!(text.contains("# TYPE engine_round_latency_ns histogram"));
+        assert!(text.contains("engine_round_latency_ns_bucket{le=\"10\"} 1"));
+        assert!(text.contains("engine_round_latency_ns_bucket{le=\"100\"} 2"));
+        assert!(text.contains("engine_round_latency_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("engine_round_latency_ns_sum 5055"));
+        assert!(text.contains("engine_round_latency_ns_count 3"));
+
+        // The +Inf bucket and _count agree with the histogram's count.
+        let inf: u64 = text
+            .lines()
+            .find(|l| l.starts_with("engine_round_latency_ns_bucket{le=\"+Inf\"}"))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|n| n.parse().ok())
+            .unwrap();
+        assert_eq!(inf, h.count());
+    }
+
+    #[test]
+    fn span_ends_feed_per_name_histograms() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut recorder = MetricsRecorder::new(Arc::clone(&registry));
+        recorder.on_span_start(0, 0, None, "net_send");
+        recorder.on_span_end(0, 0, "net_send", 1_500);
+        recorder.on_span_end(1, 1, "net_send", 2_500);
+        recorder.on_span_end(1, 2, "net_advance", 0); // untimed: ignored
+        assert_eq!(
+            registry.histogram("span.net_send.duration_ns", &[]).count(),
+            2
+        );
+        assert_eq!(
+            registry
+                .histogram("span.net_advance.duration_ns", &[])
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn svc_responses_feed_per_method_histograms() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut recorder = MetricsRecorder::new(Arc::clone(&registry));
+        recorder.on_svc_response(0, "solvable", true, "miss", 800);
+        recorder.on_svc_response(1, "solvable", true, "hit", 200);
+        recorder.on_svc_response(2, "stats", true, "none", 100);
+        let solvable = registry.histogram("svc.method.solvable.latency_ns", &[]);
+        assert_eq!(solvable.count(), 2);
+        assert!(solvable.quantile(0.5).is_some());
+        assert_eq!(registry.histogram("svc.method.stats.latency_ns", &[]).count(), 1);
+    }
+
+    #[test]
+    fn checker_progress_ratchets_cumulative_states() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut recorder = MetricsRecorder::new(Arc::clone(&registry));
+        recorder.on_checker_progress(3, 128, 4_096);
+        recorder.on_checker_progress(5, 64, 8_192);
+        assert_eq!(registry.gauge("checker.states").get(), 8_192);
+        assert_eq!(registry.counter("checker.heartbeats").get(), 2);
+    }
+
+    mod quantile_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn quantile_lands_within_one_bucket_of_the_order_statistic(
+                samples in proptest::collection::vec(0u64..200_000, 1..200),
+                q_percent in 0u64..101,
+            ) {
+                let bounds = [10u64, 100, 1_000, 10_000, 100_000];
+                let h = Histogram::new(&bounds);
+                for &s in &samples {
+                    h.observe(s);
+                }
+                let q = q_percent as f64 / 100.0;
+                let estimate = h.quantile(q).unwrap();
+
+                let mut sorted = samples.clone();
+                sorted.sort_unstable();
+                let rank = ((q * sorted.len() as f64).ceil() as usize)
+                    .clamp(1, sorted.len());
+                let order_stat = sorted[rank - 1];
+
+                let stat_bucket = bounds.partition_point(|&b| b < order_stat);
+                let est_bucket = bounds.partition_point(|&b| (b as f64) < estimate);
+                prop_assert!(
+                    est_bucket.abs_diff(stat_bucket) <= 1,
+                    "q={q}: estimate {estimate} (bucket {est_bucket}) strays more than \
+                     one bucket from order statistic {order_stat} (bucket {stat_bucket})"
+                );
+            }
+        }
     }
 
     #[test]

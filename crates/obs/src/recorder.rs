@@ -82,6 +82,39 @@ pub trait Recorder {
         });
     }
 
+    /// A profiling span opened (see [`crate::SpanGuard`]).
+    #[inline]
+    fn on_span_start(&mut self, round: usize, span_id: u64, parent: Option<u64>, name: &str) {
+        self.record(TraceEvent::SpanStart {
+            round,
+            span_id,
+            parent,
+            name: name.to_string(),
+        });
+    }
+
+    /// A profiling span closed with its measured duration.
+    #[inline]
+    fn on_span_end(&mut self, round: usize, span_id: u64, name: &str, nanos: u64) {
+        self.record(TraceEvent::SpanEnd {
+            round,
+            span_id,
+            name: name.to_string(),
+            nanos,
+        });
+    }
+
+    /// Heartbeat from a long checker sweep: cumulative states crossed
+    /// another progress stride.
+    #[inline]
+    fn on_checker_progress(&mut self, round: usize, frontier: usize, states: usize) {
+        self.record(TraceEvent::CheckerProgress {
+            round,
+            frontier,
+            states,
+        });
+    }
+
     /// The model checker finished one frontier step.
     #[inline]
     fn on_checker_round(&mut self, round: usize, frontier: usize, views: usize, nanos: u64) {
@@ -155,6 +188,162 @@ pub trait Recorder {
     }
 }
 
+/// A `&mut` reference forwards to the referent, overridden hooks included,
+/// so call sites can tee short-lived borrows of long-lived recorders.
+impl<R: Recorder + ?Sized> Recorder for &mut R {
+    #[inline]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+    #[inline]
+    fn record(&mut self, event: TraceEvent) {
+        (**self).record(event);
+    }
+    #[inline]
+    fn on_run_start(&mut self, engine: &'static str, nodes: usize, threads: usize) {
+        (**self).on_run_start(engine, nodes, threads);
+    }
+    #[inline]
+    fn on_message(&mut self, round: usize, from: usize, to: usize, status: MessageStatus) {
+        (**self).on_message(round, from, to, status);
+    }
+    #[inline]
+    fn on_decision(&mut self, round: usize, node: usize, value: u64) {
+        (**self).on_decision(round, node, value);
+    }
+    #[inline]
+    fn on_round_end(&mut self, round: usize, counts: RoundCounts, nanos: u64) {
+        (**self).on_round_end(round, counts, nanos);
+    }
+    #[inline]
+    fn on_span(&mut self, round: usize, name: &str, nanos: u64) {
+        (**self).on_span(round, name, nanos);
+    }
+    #[inline]
+    fn on_span_start(&mut self, round: usize, span_id: u64, parent: Option<u64>, name: &str) {
+        (**self).on_span_start(round, span_id, parent, name);
+    }
+    #[inline]
+    fn on_span_end(&mut self, round: usize, span_id: u64, name: &str, nanos: u64) {
+        (**self).on_span_end(round, span_id, name, nanos);
+    }
+    #[inline]
+    fn on_checker_progress(&mut self, round: usize, frontier: usize, states: usize) {
+        (**self).on_checker_progress(round, frontier, states);
+    }
+    #[inline]
+    fn on_checker_round(&mut self, round: usize, frontier: usize, views: usize, nanos: u64) {
+        (**self).on_checker_round(round, frontier, views, nanos);
+    }
+    #[inline]
+    fn on_horizon(&mut self, horizon: usize, solvable: bool, nanos: u64) {
+        (**self).on_horizon(horizon, solvable, nanos);
+    }
+    #[inline]
+    fn on_engine_degraded(&mut self, round: usize, phase: &'static str, shard: usize) {
+        (**self).on_engine_degraded(round, phase, shard);
+    }
+    #[inline]
+    fn on_budget_exhausted(&mut self, horizon: usize, frontier: usize, states: usize) {
+        (**self).on_budget_exhausted(horizon, frontier, states);
+    }
+    #[inline]
+    fn on_run_end(&mut self, rounds: usize, totals: RoundCounts, nanos: u64) {
+        (**self).on_run_end(rounds, totals, nanos);
+    }
+    #[inline]
+    fn on_svc_request(&mut self, seq: u64, method: &str) {
+        (**self).on_svc_request(seq, method);
+    }
+    #[inline]
+    fn on_svc_response(&mut self, seq: u64, method: &str, ok: bool, cache: &'static str, nanos: u64) {
+        (**self).on_svc_response(seq, method, ok, cache, nanos);
+    }
+}
+
+/// Re-dispatches a stored [`TraceEvent`] through the matching hook.
+///
+/// `recorder.record(event)` bypasses overridden hooks (a
+/// [`crate::MetricsRecorder`] aggregates in hooks and ignores `record`),
+/// so replaying a buffered stream — the daemon flushing per-request span
+/// blocks, tests rebuilding metrics from canonical events — goes through
+/// here instead.
+pub fn replay_event<R: Recorder + ?Sized>(recorder: &mut R, event: &TraceEvent) {
+    match event {
+        TraceEvent::RunStart {
+            engine,
+            nodes,
+            threads,
+        } => recorder.on_run_start(engine, *nodes, *threads),
+        TraceEvent::Message {
+            round,
+            from,
+            to,
+            status,
+        } => recorder.on_message(*round, *from, *to, *status),
+        TraceEvent::Decision { round, node, value } => {
+            recorder.on_decision(*round, *node, *value)
+        }
+        TraceEvent::RoundEnd {
+            round,
+            counts,
+            nanos,
+        } => recorder.on_round_end(*round, *counts, *nanos),
+        TraceEvent::Span { round, name, nanos } => recorder.on_span(*round, name, *nanos),
+        TraceEvent::SpanStart {
+            round,
+            span_id,
+            parent,
+            name,
+        } => recorder.on_span_start(*round, *span_id, *parent, name),
+        TraceEvent::SpanEnd {
+            round,
+            span_id,
+            name,
+            nanos,
+        } => recorder.on_span_end(*round, *span_id, name, *nanos),
+        TraceEvent::CheckerProgress {
+            round,
+            frontier,
+            states,
+        } => recorder.on_checker_progress(*round, *frontier, *states),
+        TraceEvent::CheckerRound {
+            round,
+            frontier,
+            views,
+            nanos,
+        } => recorder.on_checker_round(*round, *frontier, *views, *nanos),
+        TraceEvent::Horizon {
+            horizon,
+            solvable,
+            nanos,
+        } => recorder.on_horizon(*horizon, *solvable, *nanos),
+        TraceEvent::EngineDegraded {
+            round,
+            phase,
+            shard,
+        } => recorder.on_engine_degraded(*round, phase, *shard),
+        TraceEvent::BudgetExhausted {
+            horizon,
+            frontier,
+            states,
+        } => recorder.on_budget_exhausted(*horizon, *frontier, *states),
+        TraceEvent::RunEnd {
+            rounds,
+            totals,
+            nanos,
+        } => recorder.on_run_end(*rounds, *totals, *nanos),
+        TraceEvent::SvcRequest { seq, method } => recorder.on_svc_request(*seq, method),
+        TraceEvent::SvcResponse {
+            seq,
+            method,
+            ok,
+            cache,
+            nanos,
+        } => recorder.on_svc_response(*seq, method, *ok, cache, *nanos),
+    }
+}
+
 /// The do-nothing recorder: the default on every public entry point.
 ///
 /// `enabled()` is `false`, so engines skip observation construction, and
@@ -212,7 +401,12 @@ impl MemoryRecorder {
             TraceEvent::RoundEnd { round, .. } => (round, 3, 0, 0),
             TraceEvent::RunStart { .. } => (0, 0, 0, 0),
             TraceEvent::Span { round, .. } => (round, 4, 0, 0),
-            TraceEvent::CheckerRound { round, .. } => (round, 5, 0, 0),
+            // Start sorts before the end of the same span; ids allocated in
+            // emission order keep distinct spans properly bracketed.
+            TraceEvent::SpanStart { round, span_id, .. } => (round, 4, span_id as usize, 1),
+            TraceEvent::SpanEnd { round, span_id, .. } => (round, 4, span_id as usize, 2),
+            TraceEvent::CheckerProgress { round, .. } => (round, 5, 0, 0),
+            TraceEvent::CheckerRound { round, .. } => (round, 5, 0, 1),
             TraceEvent::Horizon { horizon, .. } => (horizon, 6, 0, 0),
             TraceEvent::EngineDegraded { round, shard, .. } => (round, 8, shard, 0),
             TraceEvent::BudgetExhausted { horizon, .. } => (horizon, 9, 0, 0),
@@ -250,14 +444,93 @@ impl<A: Recorder, B: Recorder> TeeRecorder<A, B> {
     }
 }
 
+/// Forwards every hook to both recorders — hook-by-hook, not through the
+/// `record` funnel, so a side that aggregates in overridden hooks (like
+/// [`crate::MetricsRecorder`]) still sees its overrides called.
 impl<A: Recorder, B: Recorder> Recorder for TeeRecorder<A, B> {
+    #[inline]
     fn enabled(&self) -> bool {
         self.first.enabled() || self.second.enabled()
     }
-
+    #[inline]
     fn record(&mut self, event: TraceEvent) {
         self.first.record(event.clone());
         self.second.record(event);
+    }
+    #[inline]
+    fn on_run_start(&mut self, engine: &'static str, nodes: usize, threads: usize) {
+        self.first.on_run_start(engine, nodes, threads);
+        self.second.on_run_start(engine, nodes, threads);
+    }
+    #[inline]
+    fn on_message(&mut self, round: usize, from: usize, to: usize, status: MessageStatus) {
+        self.first.on_message(round, from, to, status);
+        self.second.on_message(round, from, to, status);
+    }
+    #[inline]
+    fn on_decision(&mut self, round: usize, node: usize, value: u64) {
+        self.first.on_decision(round, node, value);
+        self.second.on_decision(round, node, value);
+    }
+    #[inline]
+    fn on_round_end(&mut self, round: usize, counts: RoundCounts, nanos: u64) {
+        self.first.on_round_end(round, counts, nanos);
+        self.second.on_round_end(round, counts, nanos);
+    }
+    #[inline]
+    fn on_span(&mut self, round: usize, name: &str, nanos: u64) {
+        self.first.on_span(round, name, nanos);
+        self.second.on_span(round, name, nanos);
+    }
+    #[inline]
+    fn on_span_start(&mut self, round: usize, span_id: u64, parent: Option<u64>, name: &str) {
+        self.first.on_span_start(round, span_id, parent, name);
+        self.second.on_span_start(round, span_id, parent, name);
+    }
+    #[inline]
+    fn on_span_end(&mut self, round: usize, span_id: u64, name: &str, nanos: u64) {
+        self.first.on_span_end(round, span_id, name, nanos);
+        self.second.on_span_end(round, span_id, name, nanos);
+    }
+    #[inline]
+    fn on_checker_progress(&mut self, round: usize, frontier: usize, states: usize) {
+        self.first.on_checker_progress(round, frontier, states);
+        self.second.on_checker_progress(round, frontier, states);
+    }
+    #[inline]
+    fn on_checker_round(&mut self, round: usize, frontier: usize, views: usize, nanos: u64) {
+        self.first.on_checker_round(round, frontier, views, nanos);
+        self.second.on_checker_round(round, frontier, views, nanos);
+    }
+    #[inline]
+    fn on_horizon(&mut self, horizon: usize, solvable: bool, nanos: u64) {
+        self.first.on_horizon(horizon, solvable, nanos);
+        self.second.on_horizon(horizon, solvable, nanos);
+    }
+    #[inline]
+    fn on_engine_degraded(&mut self, round: usize, phase: &'static str, shard: usize) {
+        self.first.on_engine_degraded(round, phase, shard);
+        self.second.on_engine_degraded(round, phase, shard);
+    }
+    #[inline]
+    fn on_budget_exhausted(&mut self, horizon: usize, frontier: usize, states: usize) {
+        self.first.on_budget_exhausted(horizon, frontier, states);
+        self.second.on_budget_exhausted(horizon, frontier, states);
+    }
+    #[inline]
+    fn on_run_end(&mut self, rounds: usize, totals: RoundCounts, nanos: u64) {
+        self.first.on_run_end(rounds, totals, nanos);
+        self.second.on_run_end(rounds, totals, nanos);
+    }
+    #[inline]
+    fn on_svc_request(&mut self, seq: u64, method: &str) {
+        self.first.on_svc_request(seq, method);
+        self.second.on_svc_request(seq, method);
+    }
+    #[inline]
+    fn on_svc_response(&mut self, seq: u64, method: &str, ok: bool, cache: &'static str, nanos: u64) {
+        self.first.on_svc_response(seq, method, ok, cache, nanos);
+        self.second.on_svc_response(seq, method, ok, cache, nanos);
     }
 }
 
@@ -291,6 +564,78 @@ mod tests {
         b.on_message(0, 1, 2, MessageStatus::Delivered);
         assert_ne!(a.events(), b.events());
         assert_eq!(a.canonical_events(), b.canonical_events());
+    }
+
+    /// Counts decisions in an overridden hook; `record` stays a no-op, so
+    /// only hook-level dispatch reaches it.
+    #[derive(Default)]
+    struct DecisionCounter {
+        decisions: usize,
+    }
+
+    impl Recorder for DecisionCounter {
+        fn on_decision(&mut self, _round: usize, _node: usize, _value: u64) {
+            self.decisions += 1;
+        }
+    }
+
+    #[test]
+    fn replay_event_dispatches_through_overridden_hooks() {
+        let mut counter = DecisionCounter::default();
+        let event = TraceEvent::Decision {
+            round: 1,
+            node: 0,
+            value: 7,
+        };
+        // record() would miss the override; replay_event must not.
+        counter.record(event.clone());
+        assert_eq!(counter.decisions, 0);
+        replay_event(&mut counter, &event);
+        assert_eq!(counter.decisions, 1);
+    }
+
+    #[test]
+    fn tee_forwards_overridden_hooks_to_both_sides() {
+        let mut counter = DecisionCounter::default();
+        let mut memory = MemoryRecorder::new();
+        {
+            let mut tee = TeeRecorder::new(&mut counter, &mut memory);
+            tee.on_decision(0, 1, 2);
+        }
+        // The aggregating side saw its override; the stream side saw the
+        // event. Funnelling through record() would miss the former.
+        assert_eq!(counter.decisions, 1);
+        assert_eq!(memory.events().len(), 1);
+    }
+
+    #[test]
+    fn mut_reference_forwards_overridden_hooks() {
+        fn drive<R: Recorder>(mut recorder: R) -> R {
+            recorder.on_decision(0, 1, 2);
+            recorder
+        }
+        fn enabled_via<R: Recorder>(recorder: R) -> bool {
+            recorder.enabled()
+        }
+        let mut counter = DecisionCounter::default();
+        drive(&mut counter);
+        assert_eq!(counter.decisions, 1);
+        assert!(enabled_via(&mut counter));
+    }
+
+    #[test]
+    fn canonical_order_brackets_span_pairs() {
+        let mut rec = MemoryRecorder::new();
+        rec.on_span_start(0, 0, None, "net_send");
+        rec.on_span_end(0, 0, "net_send", 10);
+        rec.on_span_start(0, 1, None, "net_advance");
+        rec.on_span_end(0, 1, "net_advance", 20);
+        let kinds: Vec<&str> = rec
+            .canonical_events()
+            .iter()
+            .map(TraceEvent::kind)
+            .collect();
+        assert_eq!(kinds, ["span_start", "span_end", "span_start", "span_end"]);
     }
 
     #[test]

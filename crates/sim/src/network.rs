@@ -9,7 +9,7 @@
 use crate::adversary::Adversary;
 use crate::trace::RunStats;
 use minobs_graphs::{DirectedEdge, Graph};
-use minobs_obs::{MessageStatus, NullRecorder, Recorder, RoundCounts, RoundTimer};
+use minobs_obs::{MessageStatus, NullRecorder, Recorder, RoundCounts, RoundTimer, SpanGuard, SpanIds};
 use std::collections::BTreeSet;
 
 /// A per-node synchronous state machine.
@@ -96,6 +96,7 @@ pub struct SyncNetwork<'g, P: NodeProtocol> {
     nodes: Vec<P>,
     round: usize,
     stats: RunStats,
+    span_ids: SpanIds,
 }
 
 impl<'g, P: NodeProtocol> SyncNetwork<'g, P> {
@@ -114,6 +115,7 @@ impl<'g, P: NodeProtocol> SyncNetwork<'g, P> {
             nodes,
             round: 0,
             stats: RunStats::default(),
+            span_ids: SpanIds::new(),
         }
     }
 
@@ -160,6 +162,7 @@ impl<'g, P: NodeProtocol> SyncNetwork<'g, P> {
         };
         let mut counts = RoundCounts::default();
         // 1. Collect sends from live nodes, validating targets.
+        let send_span = SpanGuard::begin(recorder, &mut self.span_ids, self.round, None, "net_send");
         let mut pending: Vec<(DirectedEdge, P::Msg)> = Vec::new();
         for (id, node) in self.nodes.iter().enumerate() {
             if node.halted() {
@@ -176,6 +179,9 @@ impl<'g, P: NodeProtocol> SyncNetwork<'g, P> {
                     }
                 }
             }
+        }
+        if let Some(span) = send_span {
+            span.end(recorder);
         }
         // 2. Adversary selects the omission set for this round.
         let pending_edges: Vec<DirectedEdge> = pending.iter().map(|(e, _)| *e).collect();
@@ -219,10 +225,15 @@ impl<'g, P: NodeProtocol> SyncNetwork<'g, P> {
         self.stats.messages_dropped += counts.dropped;
         self.stats.misaddressed += counts.misaddressed;
         // 4. Advance live nodes.
+        let advance_span =
+            SpanGuard::begin(recorder, &mut self.span_ids, self.round, None, "net_advance");
         for (id, node) in self.nodes.iter_mut().enumerate() {
             if !node.halted() {
                 node.advance(self.round, std::mem::take(&mut inboxes[id]));
             }
+        }
+        if let Some(span) = advance_span {
+            span.end(recorder);
         }
         if observing {
             for (id, node) in self.nodes.iter().enumerate() {

@@ -5,7 +5,7 @@
 //! node's `advance` consumes a disjoint inbox. This engine fans both
 //! phases out over `crossbeam` scoped threads working on disjoint node
 //! chunks — no locks on the hot path; each worker accumulates a private
-//! [`WorkerShard`] that the coordinator merges at the round barrier.
+//! `WorkerShard` that the coordinator merges at the round barrier.
 //!
 //! The results are **bit-identical** to [`crate::network::SyncNetwork`]:
 //! pending messages are ordered by (sender, receiver) before the adversary
@@ -32,7 +32,7 @@ use crate::adversary::Adversary;
 use crate::network::{audit_network, NetOutcome, NodeProtocol};
 use crate::trace::RunStats;
 use minobs_graphs::{DirectedEdge, Graph};
-use minobs_obs::{MessageStatus, NullRecorder, Recorder, RoundCounts, RoundTimer};
+use minobs_obs::{MessageStatus, NullRecorder, Recorder, RoundCounts, RoundTimer, SpanGuard, SpanIds};
 use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -128,6 +128,10 @@ where
     let mut stats = RunStats::default();
     let mut round = 0usize;
     let run_timer = RoundTimer::start_if(recorder.enabled());
+    // Coordinator-owned: span events (like all events) are emitted only
+    // between the parallel phases, and the id sequence matches the serial
+    // engine's so canonical streams stay identical.
+    let mut span_ids = SpanIds::new();
     recorder.on_run_start("network_parallel", n, threads);
 
     while round < max_rounds && !nodes.iter().all(|p| p.halted()) {
@@ -145,6 +149,7 @@ where
         // re-executed serially by the coordinator (send is `&self`, so
         // the retry observes identical state).
         type SendResult<M> = Result<(Vec<(DirectedEdge, M)>, WorkerShard), ()>;
+        let send_span = SpanGuard::begin(recorder, &mut span_ids, round, None, "net_send");
         let mut per_chunk: Vec<SendResult<P::Msg>> = Vec::new();
         crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
@@ -184,6 +189,9 @@ where
         // Deterministic adversary view, identical to the sequential engine
         // (which collects in node order).
         pending.sort_by_key(|(e, _)| (e.from, e.to));
+        if let Some(span) = send_span {
+            span.end(recorder);
+        }
 
         // ---- Phase 2 (sequential): adversary + routing. ----
         let pending_edges: Vec<DirectedEdge> = pending.iter().map(|(e, _)| *e).collect();
@@ -229,6 +237,7 @@ where
         // once with an empty inbox (the original messages were consumed
         // by the failed call — in the omission model the loss reads as
         // extra drops, the graceful form of degradation).
+        let advance_span = SpanGuard::begin(recorder, &mut span_ids, round, None, "net_advance");
         let mut failed_by_shard: Vec<Vec<usize>> = Vec::new();
         crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
@@ -269,6 +278,9 @@ where
                 let node = &mut nodes[id];
                 let _ = catch_unwind(AssertUnwindSafe(|| node.advance(round, Vec::new())));
             }
+        }
+        if let Some(span) = advance_span {
+            span.end(recorder);
         }
 
         if observing {

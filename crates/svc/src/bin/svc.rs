@@ -4,13 +4,20 @@
 //! svc call <method> [params-json] [--addr HOST:PORT]
 //! svc bench [--addr HOST:PORT] [--threads N] [--requests M]
 //!           [--method NAME] [--params JSON]
+//! svc top [--addr HOST:PORT] [--interval SECS] [--iterations N]
+//!         [--no-clear]
 //! ```
 //!
 //! The address defaults to `MINOBS_SVC_ADDR`. `bench` is a closed-loop
 //! load generator: each thread opens its own connection and issues its
 //! requests back to back, then latencies are pooled for percentiles.
 //! The very first request is reported separately as the cold-cache
-//! latency, so a warm/cold comparison is one run's output.
+//! latency, so a warm/cold comparison is one run's output. After the
+//! run, the daemon's metrics snapshot is written next to the experiment
+//! artifacts as `svc_bench.metrics.json`.
+//!
+//! `top` polls `stats` and renders a live view: request rate, in-flight
+//! requests, cache hit ratio, and per-method latency percentiles.
 
 use minobs_svc::client::SvcClient;
 use serde_json::Value;
@@ -19,7 +26,7 @@ use std::time::Instant;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  svc call <method> [params-json] [--addr HOST:PORT]\n  svc bench [--addr HOST:PORT] [--threads N] [--requests M] [--method NAME] [--params JSON]"
+        "usage:\n  svc call <method> [params-json] [--addr HOST:PORT]\n  svc bench [--addr HOST:PORT] [--threads N] [--requests M] [--method NAME] [--params JSON]\n  svc top [--addr HOST:PORT] [--interval SECS] [--iterations N] [--no-clear]"
     );
     ExitCode::FAILURE
 }
@@ -40,6 +47,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("call") => call(&args[1..]),
         Some("bench") => bench(&args[1..]),
+        Some("top") => top(&args[1..]),
         _ => usage(),
     }
 }
@@ -205,11 +213,170 @@ fn bench(args: &[String]) -> ExitCode {
             cold_ns as f64 / warm_mean.max(1) as f64
         );
     }
+    // The daemon's own view of the run, written next to the experiment
+    // artifacts so bench reports carry the server-side histograms too.
+    match SvcClient::connect(addr.as_str()).and_then(|mut c| c.call("stats", Value::Null)) {
+        Ok(stats) => {
+            minobs_bench::write_metrics_snapshot("svc_bench", &stats);
+        }
+        Err(err) => eprintln!("svc bench: stats snapshot failed: {err}"),
+    }
+
     if errors == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// One polled frame of the `top` view, with the counters needed to turn
+/// the next poll into rates.
+struct TopSample {
+    responses: u64,
+    at: Instant,
+}
+
+fn top(args: &[String]) -> ExitCode {
+    let mut addr = env_addr();
+    let mut interval = 1.0f64;
+    let mut iterations = 0usize; // 0 = poll until interrupted
+    let mut clear = true;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(a) => addr = Some(a.clone()),
+                None => return usage(),
+            },
+            "--interval" => match it.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(s) if s > 0.0 => interval = s,
+                _ => return usage(),
+            },
+            "--iterations" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => iterations = n,
+                None => return usage(),
+            },
+            "--no-clear" => clear = false,
+            _ => return usage(),
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("svc top: no address (pass --addr or set MINOBS_SVC_ADDR)");
+        return ExitCode::FAILURE;
+    };
+    let mut client = match SvcClient::connect(addr.as_str()) {
+        Ok(client) => client,
+        Err(err) => {
+            eprintln!("svc top: cannot connect to {addr}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut previous: Option<TopSample> = None;
+    let mut frame = 0usize;
+    loop {
+        let stats = match client.call("stats", Value::Null) {
+            Ok(stats) => stats,
+            Err(err) => {
+                eprintln!("svc top: stats failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if clear {
+            // ANSI clear + home; `--no-clear` keeps frames append-only
+            // for logs and non-terminals.
+            print!("\x1b[2J\x1b[H");
+        }
+        previous = Some(render_top_frame(&addr, &stats, previous.as_ref()));
+
+        frame += 1;
+        if iterations != 0 && frame >= iterations {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(std::time::Duration::from_secs_f64(interval));
+    }
+}
+
+fn counter(stats: &Value, name: &str) -> u64 {
+    stats
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .and_then(|c| c.get(name))
+        .and_then(Value::as_u64)
+        .unwrap_or(0)
+}
+
+/// Prints one `top` frame from a `stats` response and returns the sample
+/// used to compute the next frame's rates.
+fn render_top_frame(addr: &str, stats: &Value, previous: Option<&TopSample>) -> TopSample {
+    let now = Instant::now();
+    let requests = counter(stats, "svc.requests");
+    let responses_ok = counter(stats, "svc.responses_ok");
+    let responses_err = counter(stats, "svc.responses_err");
+    let responses = responses_ok + responses_err;
+    let hits = counter(stats, "svc.cache_hits");
+    let misses = counter(stats, "svc.cache_misses");
+    let subsumed = counter(stats, "svc.cache_subsumptions");
+
+    let qps = previous
+        .map(|p| {
+            let dt = now.duration_since(p.at).as_secs_f64().max(1e-9);
+            (responses.saturating_sub(p.responses)) as f64 / dt
+        })
+        .unwrap_or(0.0);
+    let in_flight = requests.saturating_sub(responses);
+    let lookups = hits + misses + subsumed;
+    let hit_ratio = if lookups > 0 {
+        (hits + subsumed) as f64 / lookups as f64 * 100.0
+    } else {
+        0.0
+    };
+
+    let uptime_ms = stats.get("uptime_ms").and_then(Value::as_u64).unwrap_or(0);
+    let workers = stats.get("workers").and_then(Value::as_u64).unwrap_or(0);
+    let draining = stats
+        .get("draining")
+        .and_then(Value::as_bool)
+        .unwrap_or(false);
+
+    println!(
+        "minobs-svc {addr} — up {:.0}s, {workers} workers{}",
+        uptime_ms as f64 / 1_000.0,
+        if draining { ", DRAINING" } else { "" }
+    );
+    println!(
+        "  {qps:.1} req/s | {requests} requests ({responses_ok} ok, {responses_err} err) | {in_flight} in flight"
+    );
+    println!(
+        "  cache: {hit_ratio:.1}% hit ({hits} hit, {subsumed} subsumed, {misses} miss)"
+    );
+    println!("  {:<16} {:>8} {:>10} {:>10} {:>10}", "method", "count", "p50 µs", "p95 µs", "p99 µs");
+    let empty = serde_json::Map::new();
+    let latency = stats
+        .get("latency")
+        .and_then(Value::as_object)
+        .unwrap_or(&empty);
+    for (method, summary) in latency.iter() {
+        let field = |name: &str| {
+            summary
+                .get(name)
+                .and_then(Value::as_u64)
+                .map(|ns| format!("{:.1}", ns as f64 / 1_000.0))
+                .unwrap_or_else(|| "-".to_string())
+        };
+        println!(
+            "  {method:<16} {:>8} {:>10} {:>10} {:>10}",
+            summary.get("count").and_then(Value::as_u64).unwrap_or(0),
+            field("p50_ns"),
+            field("p95_ns"),
+            field("p99_ns"),
+        );
+    }
+    if latency.is_empty() {
+        println!("  (no timed requests yet)");
+    }
+
+    TopSample { responses, at: now }
 }
 
 fn run_thread(addr: &str, method: &str, params: &Value, requests: usize) -> ThreadOutcome {

@@ -63,6 +63,13 @@ pub fn handle(state: &ServerState, request: &Request) -> (Result<Value, RpcError
         "net_solvable" => (net_solvable(params), "none"),
         "simulate" => (simulate(params), "none"),
         "stats" => (Ok(stats(state)), "none"),
+        "metrics" => (
+            Ok(obj(&[(
+                "text",
+                Value::from(state.registry().render_text()),
+            )])),
+            "none",
+        ),
         "shutdown" => {
             state.begin_shutdown();
             (Ok(obj(&[("draining", Value::from(true))])), "none")
@@ -605,14 +612,51 @@ fn parse_edge(entry: &Value) -> Result<(usize, usize), RpcError> {
     ))
 }
 
-/// `stats`: daemon uptime, pool size, and a full metrics snapshot
-/// (including the `svc.cache_*` counters).
+/// `stats`: daemon uptime, pool size, a full metrics snapshot (including
+/// the `svc.cache_*` counters), and per-method latency quantiles.
 fn stats(state: &ServerState) -> Value {
     obj(&[
         ("uptime_ms", Value::from(state.uptime_ms())),
         ("workers", Value::from(state.workers() as u64)),
         ("draining", Value::from(state.draining())),
         ("cache_entries", Value::from(state.cache().entries() as u64)),
+        ("latency", latency_summary(state)),
         ("metrics", state.registry().snapshot()),
     ])
+}
+
+/// Per-method latency quantiles from the `svc.method.*.latency_ns`
+/// histograms: `{method: {count, p50_ns, p95_ns, p99_ns}}` for every
+/// method observed at least once.
+fn latency_summary(state: &ServerState) -> Value {
+    let mut methods = Map::new();
+    for (name, histogram) in state.registry().histograms() {
+        let method = match name
+            .strip_prefix("svc.method.")
+            .and_then(|rest| rest.strip_suffix(".latency_ns"))
+        {
+            Some(method) => method,
+            None => continue,
+        };
+        let quantile = |q: f64| {
+            histogram
+                .quantile(q)
+                .map(|v| Value::from(v.round() as u64))
+                .unwrap_or(Value::Null)
+        };
+        let count = histogram.count();
+        if count == 0 {
+            continue;
+        }
+        methods.insert(
+            method.to_string(),
+            obj(&[
+                ("count", Value::from(count)),
+                ("p50_ns", quantile(0.50)),
+                ("p95_ns", quantile(0.95)),
+                ("p99_ns", quantile(0.99)),
+            ]),
+        );
+    }
+    Value::Object(methods)
 }

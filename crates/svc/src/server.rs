@@ -18,7 +18,10 @@ use crate::cache::VerdictCache;
 use crate::methods::{self, RpcError};
 use crate::wire::{self, Request};
 use crossbeam::channel::{self, Receiver, Sender};
-use minobs_obs::{JsonlSink, MetricsRecorder, MetricsRegistry, Recorder};
+use minobs_obs::{
+    replay_event, JsonlSink, MemoryRecorder, MetricsRecorder, MetricsRegistry, Recorder, SpanGuard,
+    SpanIds, TraceEvent,
+};
 use serde_json::Value;
 use std::fs::File;
 use std::io::{self, BufWriter, Read, Write};
@@ -208,9 +211,31 @@ impl ServerState {
         }
     }
 
-    fn on_response(&self, seq: u64, method: &str, ok: bool, cache: &'static str, nanos: u64) {
-        lock(&self.metrics).on_svc_response(seq, method, ok, cache, nanos);
+    /// Folds one finished request into the metrics and the trace. The
+    /// request's buffered span events are flushed *as a block* right
+    /// before its `svc_response`, under the same lock acquisition, so the
+    /// shared trace stream interleaves whole requests — each block is
+    /// self-balanced and `trace_lint`'s span bracketing holds per stream.
+    fn on_response(
+        &self,
+        seq: u64,
+        method: &str,
+        ok: bool,
+        cache: &'static str,
+        nanos: u64,
+        spans: &[TraceEvent],
+    ) {
+        {
+            let mut metrics = lock(&self.metrics);
+            for event in spans {
+                replay_event(&mut *metrics, event);
+            }
+            metrics.on_svc_response(seq, method, ok, cache, nanos);
+        }
         if let TraceSink::File(sink) = &mut *lock(&self.trace) {
+            for event in spans {
+                sink.record(event.clone());
+            }
             sink.on_svc_response(seq, method, ok, cache, nanos);
         }
     }
@@ -440,10 +465,42 @@ fn handle_frame<W: Write>(
     }
 }
 
+/// A static span name per known method, so request spans carry stable
+/// `rpc.*` labels without leaking attacker-chosen method strings into
+/// span-name keyed metrics.
+fn method_span(method: &str) -> &'static str {
+    match method {
+        "solvable" => "rpc.solvable",
+        "check_horizon" => "rpc.check_horizon",
+        "first_horizon" => "rpc.first_horizon",
+        "net_solvable" => "rpc.net_solvable",
+        "simulate" => "rpc.simulate",
+        "stats" => "rpc.stats",
+        "metrics" => "rpc.metrics",
+        "shutdown" => "rpc.shutdown",
+        _ => "rpc.unknown",
+    }
+}
+
 fn worker_loop(state: &Arc<ServerState>, rx: &Receiver<Job>) {
     while let Ok(job) = rx.recv() {
         let start = Instant::now();
+        // Spans are buffered request-locally and flushed with the
+        // response; `starting_at(seq << 20)` carves each request a
+        // disjoint id block so ids stay unique across the shared stream.
+        let mut request_spans = MemoryRecorder::new();
+        let mut span_ids = SpanIds::starting_at(job.seq << 20);
+        let span = SpanGuard::begin(
+            &mut request_spans,
+            &mut span_ids,
+            0,
+            None,
+            method_span(&job.request.method),
+        );
         let outcome = catch_unwind(AssertUnwindSafe(|| methods::handle(state, &job.request)));
+        if let Some(span) = span {
+            span.end(&mut request_spans);
+        }
         let (result, disposition) = outcome.unwrap_or_else(|_| {
             (
                 Err(RpcError::new("internal", "method handler panicked")),
@@ -452,7 +509,14 @@ fn worker_loop(state: &Arc<ServerState>, rx: &Receiver<Job>) {
         });
         let ok = result.is_ok();
         let nanos = (start.elapsed().as_nanos() as u64).max(1);
-        state.on_response(job.seq, &job.request.method, ok, disposition, nanos);
+        state.on_response(
+            job.seq,
+            &job.request.method,
+            ok,
+            disposition,
+            nanos,
+            request_spans.events(),
+        );
         let reply = match result {
             Ok(value) => wire::ok_response(job.request.id, value),
             Err(e) => wire::err_response(job.request.id, e.code, &e.message),

@@ -15,7 +15,13 @@ use crate::views::{ViewArena, ViewId};
 use minobs_core::letter::{Letter, Role};
 use minobs_core::scheme::OmissionScheme;
 use minobs_core::word::Word;
-use minobs_obs::{NullRecorder, Recorder, RoundTimer};
+use minobs_obs::{NullRecorder, Recorder, RoundTimer, SpanGuard, SpanIds};
+
+/// The `checker_progress` heartbeat fires each time the cumulative
+/// explored-state count crosses another multiple of this stride. Small
+/// enough that realistic sweeps emit progress every few rounds, large
+/// enough that tiny checks stay silent.
+const CHECKER_PROGRESS_STRIDE: usize = 4_096;
 
 /// One execution in a bivalency chain: the scenario prefix and the inputs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -351,8 +357,13 @@ fn solvable_by_impl<R: Recorder + ?Sized>(
         Word(letters)
     };
 
+    let mut span_ids = SpanIds::new();
+    let mut states_total = frontier.len();
+    let mut progress_mark = states_total / CHECKER_PROGRESS_STRIDE;
+
     for round in 0..k {
         let step_timer = RoundTimer::start_if(recorder.enabled());
+        let expand_span = SpanGuard::begin(recorder, &mut span_ids, round + 1, None, "checker_expand");
         let mut next: Vec<ExecState> = Vec::with_capacity(frontier.len() * alphabet.len());
         // Group by prefix: all four input pairs extend the same way, so
         // test allows_prefix once per (prefix, letter). Entries with the
@@ -407,9 +418,23 @@ fn solvable_by_impl<R: Recorder + ?Sized>(
                 }
             }
         }
+        if let Some(span) = expand_span {
+            span.end(recorder);
+        }
         // Keep same-prefix entries contiguous: sort by prefix index.
+        let dedup_span = SpanGuard::begin(recorder, &mut span_ids, round + 1, None, "checker_dedup");
         next.sort_by_key(|e| e.prefix_idx);
+        if let Some(span) = dedup_span {
+            span.end(recorder);
+        }
         frontier = next;
+        if recorder.enabled() {
+            states_total += frontier.len();
+            if states_total / CHECKER_PROGRESS_STRIDE > progress_mark {
+                progress_mark = states_total / CHECKER_PROGRESS_STRIDE;
+                recorder.on_checker_progress(round + 1, frontier.len(), states_total);
+            }
+        }
         recorder.on_checker_round(
             round + 1,
             frontier.len(),
@@ -436,6 +461,7 @@ fn solvable_by_impl<R: Recorder + ?Sized>(
     }
 
     // Union final views per execution; pin uniform-input executions.
+    let decide_span = SpanGuard::begin(recorder, &mut span_ids, k, None, "checker_decide");
     let n_views = arena.len();
     let mut uf = UnionFind::new(n_views);
     for e in &frontier {
@@ -458,7 +484,7 @@ fn solvable_by_impl<R: Recorder + ?Sized>(
         pin0[r].is_some() && pin1[r].is_some()
     });
 
-    match conflict_root {
+    let result = match conflict_root {
         None => {
             // Count components among final views only.
             let mut roots: Vec<u32> = frontier
@@ -489,7 +515,11 @@ fn solvable_by_impl<R: Recorder + ?Sized>(
             );
             CheckResult::Unsolvable { chain }
         }
+    };
+    if let Some(span) = decide_span {
+        span.end(recorder);
     }
+    result
 }
 
 /// BFS over executions: two executions are adjacent when they share a
@@ -992,6 +1022,78 @@ mod tests {
         assert_eq!(horizon, horizon_reached);
         assert_eq!(frontier, frontier_size);
         assert!(frontier <= states, "trace_lint invariant");
+    }
+
+    #[test]
+    fn checker_emits_bracketed_spans_per_round() {
+        use minobs_obs::{MemoryRecorder, TraceEvent};
+        let k = 3;
+        let mut rec = MemoryRecorder::new();
+        solvable_by_with_recorder(&classic::c1(), k, &gamma(), &mut rec);
+
+        let mut stack: Vec<u64> = Vec::new();
+        let mut seen_ids = std::collections::BTreeSet::new();
+        let mut names = Vec::new();
+        for event in rec.events() {
+            match event {
+                TraceEvent::SpanStart { span_id, name, .. } => {
+                    assert!(seen_ids.insert(*span_id), "span ids must be unique");
+                    stack.push(*span_id);
+                    names.push(name.clone());
+                }
+                TraceEvent::SpanEnd { span_id, .. } => {
+                    assert_eq!(stack.pop(), Some(*span_id), "spans must nest");
+                }
+                _ => {}
+            }
+        }
+        assert!(stack.is_empty(), "all spans closed");
+        let expected: Vec<String> = (0..k)
+            .flat_map(|_| ["checker_expand".to_string(), "checker_dedup".to_string()])
+            .chain(["checker_decide".to_string()])
+            .collect();
+        assert_eq!(names, expected);
+    }
+
+    #[test]
+    fn checker_progress_fires_at_every_stride_crossing() {
+        use minobs_obs::{MemoryRecorder, TraceEvent};
+        let mut rec = MemoryRecorder::new();
+        solvable_by_with_recorder(&classic::r1(), 8, &gamma(), &mut rec);
+
+        // Replay the frontier trajectory to predict the heartbeats.
+        let mut cumulative = 4usize; // round-0 frontier: 4 input pairs
+        let mut mark = cumulative / CHECKER_PROGRESS_STRIDE;
+        let mut expected = Vec::new();
+        for event in rec.events() {
+            if let TraceEvent::CheckerRound {
+                round, frontier, ..
+            } = event
+            {
+                cumulative += frontier;
+                if cumulative / CHECKER_PROGRESS_STRIDE > mark {
+                    mark = cumulative / CHECKER_PROGRESS_STRIDE;
+                    expected.push((*round, *frontier, cumulative));
+                }
+            }
+        }
+        let observed: Vec<(usize, usize, usize)> = rec
+            .events()
+            .iter()
+            .filter_map(|event| match event {
+                TraceEvent::CheckerProgress {
+                    round,
+                    frontier,
+                    states,
+                } => Some((*round, *frontier, *states)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(observed, expected);
+        assert!(
+            !observed.is_empty(),
+            "an 8-round sweep must cross the progress stride at least once"
+        );
     }
 
     use minobs_core::word::Word;

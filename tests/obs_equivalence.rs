@@ -10,7 +10,10 @@
 
 use minobs_graphs::{generators, Graph};
 use minobs_net::{DecisionRule, FloodConsensus};
-use minobs_obs::{MemoryRecorder, MessageStatus, TraceEvent};
+use minobs_obs::{
+    replay_event, MemoryRecorder, MessageStatus, MetricsRecorder, MetricsRegistry, TraceEvent,
+};
+use std::sync::Arc;
 use minobs_sim::adversary::{BudgetChecked, NoFault, RandomOmissions, ScriptedAdversary};
 use minobs_sim::network::run_network_with_recorder;
 use minobs_sim::parallel::run_network_parallel_with_recorder;
@@ -56,6 +59,17 @@ fn comparable(recorder: &MemoryRecorder) -> Vec<TraceEvent> {
                 name,
                 nanos: 0,
             },
+            TraceEvent::SpanEnd {
+                round,
+                span_id,
+                name,
+                ..
+            } => TraceEvent::SpanEnd {
+                round,
+                span_id,
+                name,
+                nanos: 0,
+            },
             TraceEvent::RunEnd { rounds, totals, .. } => TraceEvent::RunEnd {
                 rounds,
                 totals,
@@ -64,6 +78,42 @@ fn comparable(recorder: &MemoryRecorder) -> Vec<TraceEvent> {
             other => other,
         })
         .collect()
+}
+
+/// Folds a canonicalized event stream into a fresh registry snapshot.
+/// Replaying `comparable()` output (timing zeroed) makes the latency
+/// histograms deterministic, so two engines that observe the same things
+/// must produce byte-identical snapshots.
+fn metrics_snapshot_of(events: &[TraceEvent]) -> serde_json::Value {
+    let registry = Arc::new(MetricsRegistry::new());
+    let mut metrics = MetricsRecorder::new(Arc::clone(&registry));
+    for event in events {
+        replay_event(&mut metrics, event);
+    }
+    registry.snapshot()
+}
+
+/// Asserts the span discipline `trace_lint` enforces: unique ids, proper
+/// bracketing, everything closed. Returns the bracketed span names.
+fn well_formed_span_names(events: &[TraceEvent]) -> Vec<String> {
+    let mut stack: Vec<u64> = Vec::new();
+    let mut ids = std::collections::BTreeSet::new();
+    let mut names = Vec::new();
+    for event in events {
+        match event {
+            TraceEvent::SpanStart { span_id, name, .. } => {
+                assert!(ids.insert(*span_id), "duplicate span id {span_id}");
+                stack.push(*span_id);
+                names.push(name.clone());
+            }
+            TraceEvent::SpanEnd { span_id, .. } => {
+                assert_eq!(stack.pop(), Some(*span_id), "spans must nest properly");
+            }
+            _ => {}
+        }
+    }
+    assert!(stack.is_empty(), "unclosed spans: {stack:?}");
+    names
 }
 
 fn dropped_message_events(events: &[TraceEvent]) -> usize {
@@ -168,6 +218,84 @@ fn serial_and_parallel_engines_observe_identically_under_omissions() {
             comparable(&serial),
             comparable(&parallel),
             "{name}: canonical event streams diverge under omissions"
+        );
+    }
+}
+
+#[test]
+fn serial_and_parallel_engines_produce_identical_metrics_snapshots() {
+    for (name, g) in families() {
+        let n = g.vertex_count();
+        let inputs: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
+
+        let mut serial = MemoryRecorder::new();
+        run_network_with_recorder(
+            &g,
+            FloodConsensus::fleet(&g, &inputs, DecisionRule::ValueOfMinId),
+            &mut NoFault,
+            2 * n,
+            &mut serial,
+        );
+        let serial_snapshot = metrics_snapshot_of(&comparable(&serial));
+
+        for threads in [2usize, 4] {
+            let mut parallel = MemoryRecorder::new();
+            run_network_parallel_with_recorder(
+                &g,
+                FloodConsensus::fleet(&g, &inputs, DecisionRule::ValueOfMinId),
+                &mut NoFault,
+                2 * n,
+                threads,
+                &mut parallel,
+            );
+            assert_eq!(
+                serial_snapshot,
+                metrics_snapshot_of(&comparable(&parallel)),
+                "{name} t={threads}: metrics snapshots diverge"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_coordinator_spans_are_canonical() {
+    for (name, g) in families() {
+        let n = g.vertex_count();
+        let inputs: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
+
+        let mut serial = MemoryRecorder::new();
+        run_network_with_recorder(
+            &g,
+            FloodConsensus::fleet(&g, &inputs, DecisionRule::ValueOfMinId),
+            &mut NoFault,
+            2 * n,
+            &mut serial,
+        );
+        let serial_names = well_formed_span_names(serial.events());
+        assert!(
+            serial_names
+                .chunks(2)
+                .all(|pair| pair == ["net_send", "net_advance"]),
+            "{name}: serial spans must alternate send/advance per round"
+        );
+
+        let mut parallel = MemoryRecorder::new();
+        run_network_parallel_with_recorder(
+            &g,
+            FloodConsensus::fleet(&g, &inputs, DecisionRule::ValueOfMinId),
+            &mut NoFault,
+            2 * n,
+            3,
+            &mut parallel,
+        );
+        assert_eq!(
+            serial_names,
+            well_formed_span_names(parallel.events()),
+            "{name}: parallel coordinator span sequence diverges from serial"
+        );
+        assert!(
+            !serial_names.is_empty(),
+            "{name}: instrumented engines must emit spans"
         );
     }
 }

@@ -286,6 +286,98 @@ fn shutdown_under_load_loses_no_accepted_request() {
     );
 }
 
+#[test]
+fn telemetry_plane_exposes_spans_quantiles_and_exposition() {
+    let trace_path = std::env::temp_dir().join(format!(
+        "minobs_svc_telemetry_{}.trace.jsonl",
+        std::process::id()
+    ));
+    let config = SvcConfig {
+        trace_path: Some(trace_path.clone()),
+        ..SvcConfig::default()
+    };
+    let server = serve(config).expect("bind an ephemeral port");
+    let addr = server.local_addr().to_string();
+    let mut client = SvcClient::connect(addr.as_str()).unwrap();
+
+    for _ in 0..3 {
+        client
+            .call("check_horizon", check_params("s1", 2))
+            .unwrap();
+        client
+            .call("solvable", obj(&[("scheme", Value::from("s1"))]))
+            .unwrap();
+    }
+
+    // `stats` carries per-method latency quantiles for every method
+    // exercised so far, all non-zero (span/latency nanos are >= 1).
+    let stats = client.call("stats", Value::Null).unwrap();
+    let latency = stats
+        .get("latency")
+        .and_then(Value::as_object)
+        .expect("stats carries a latency summary");
+    for method in ["check_horizon", "solvable"] {
+        let summary = latency
+            .get(method)
+            .unwrap_or_else(|| panic!("latency summary missing {method}: {stats:?}"));
+        assert_eq!(
+            summary.get("count").and_then(Value::as_u64),
+            Some(3),
+            "{method} latency count"
+        );
+        for q in ["p50_ns", "p95_ns", "p99_ns"] {
+            let v = summary.get(q).and_then(Value::as_u64).unwrap_or(0);
+            assert!(v > 0, "{method} {q} must be non-zero, got {summary:?}");
+        }
+    }
+
+    // `metrics` renders the Prometheus text exposition.
+    let metrics = client.call("metrics", Value::Null).unwrap();
+    let text = metrics
+        .get("text")
+        .and_then(Value::as_str)
+        .expect("metrics returns a text field");
+    assert!(text.contains("# TYPE svc_requests counter"), "{text}");
+    assert!(
+        text.contains("svc_method_check_horizon_latency_ns_bucket{le=\"+Inf\"}"),
+        "per-method histogram missing from exposition:\n{text}"
+    );
+
+    client.call("shutdown", Value::Null).unwrap();
+    server.join();
+
+    // The daemon trace interleaves whole requests: each request's
+    // rpc.* span pair lands as a self-balanced block before its
+    // svc_response, so a single pass with a stack must close everything.
+    let trace = std::fs::read_to_string(&trace_path).expect("daemon trace written");
+    let mut open: Vec<(u64, String)> = Vec::new();
+    let mut span_names = Vec::new();
+    for line in trace.lines() {
+        let event: Value = serde_json::from_str(line).expect("valid trace JSON");
+        match event.get("event").and_then(Value::as_str) {
+            Some("span_start") => {
+                let id = event.get("span_id").and_then(Value::as_u64).unwrap();
+                let name = event.get("name").and_then(Value::as_str).unwrap();
+                open.push((id, name.to_string()));
+                span_names.push(name.to_string());
+            }
+            Some("span_end") => {
+                let id = event.get("span_id").and_then(Value::as_u64).unwrap();
+                let name = event.get("name").and_then(Value::as_str).unwrap();
+                let (open_id, open_name) = open.pop().expect("span_end without span_start");
+                assert_eq!((open_id, open_name.as_str()), (id, name));
+                assert!(event.get("nanos").and_then(Value::as_u64).unwrap() >= 1);
+            }
+            _ => {}
+        }
+    }
+    assert!(open.is_empty(), "unclosed spans in daemon trace: {open:?}");
+    assert!(span_names.contains(&"rpc.check_horizon".to_string()));
+    assert!(span_names.contains(&"rpc.solvable".to_string()));
+    assert!(span_names.contains(&"rpc.stats".to_string()));
+    let _ = std::fs::remove_file(&trace_path);
+}
+
 /// Acceptance: repeated `check_horizon` on a warm cache is at least 10×
 /// the cold throughput. Run explicitly (release mode recommended):
 /// `cargo test --release --test svc_service -- --ignored`.
