@@ -22,11 +22,18 @@
 //!    declared `parent` is exactly that enclosing span), and nothing is
 //!    left open at end of file.
 //!
+//! When handed a file that parses as a single JSON object under the
+//! `minobs/bench/v1` schema instead of a JSONL trace, it validates the
+//! bench artifact (required fields present, quantiles monotone
+//! `p50 ≤ p95 ≤ p99 ≤ max`, `achieved ≤ offered`) via
+//! `minobs_obs::validate_bench_artifact`.
+//!
 //! Exits non-zero with a description of the first violation. CI runs this
-//! over the trace emitted by `exp_network` under `MINOBS_TRACE=1` and
-//! over the daemon trace from the `svc` job.
+//! over the trace emitted by `exp_network` under `MINOBS_TRACE=1`, over
+//! the daemon trace from the `svc` job, and over the bench artifacts the
+//! `perf` job produces.
 
-use minobs_obs::SCHEMA;
+use minobs_obs::{validate_bench_artifact, BENCH_SCHEMA, SCHEMA};
 use serde_json::Value;
 use std::collections::{HashMap, HashSet};
 use std::process::ExitCode;
@@ -291,14 +298,25 @@ fn lint(text: &str) -> Result<(usize, usize), String> {
     Ok((lines_checked, runs_closed))
 }
 
+/// Detects a `minobs/bench/v1` artifact: the whole file is one JSON
+/// object carrying that schema tag. Returns its validation outcome, or
+/// `None` when the file is something else (a JSONL trace).
+fn lint_bench(text: &str) -> Option<Result<(), String>> {
+    let value: Value = serde_json::from_str(text.trim()).ok()?;
+    if value.get("schema").and_then(Value::as_str) != Some(BENCH_SCHEMA) {
+        return None;
+    }
+    Some(validate_bench_artifact(&value))
+}
+
 fn main() -> ExitCode {
     let args = minobs_bench::cli::handle_common_flags(
         "trace_lint",
-        "validates a minobs JSONL trace file",
-        "trace_lint <trace.jsonl>",
+        "validates a minobs JSONL trace file or a minobs/bench/v1 artifact",
+        "trace_lint <trace.jsonl | bench.json>",
     );
     let Some(path) = args.first().cloned() else {
-        eprintln!("usage: trace_lint <trace.jsonl>");
+        eprintln!("usage: trace_lint <trace.jsonl | bench.json>");
         return ExitCode::FAILURE;
     };
     let text = match std::fs::read_to_string(&path) {
@@ -311,6 +329,18 @@ fn main() -> ExitCode {
     if text.is_empty() {
         eprintln!("trace_lint: {path} is empty — was MINOBS_TRACE set?");
         return ExitCode::FAILURE;
+    }
+    if let Some(outcome) = lint_bench(&text) {
+        return match outcome {
+            Ok(()) => {
+                println!("trace_lint: {path}: valid {BENCH_SCHEMA} artifact");
+                ExitCode::SUCCESS
+            }
+            Err(message) => {
+                eprintln!("trace_lint: {path}: {message}");
+                ExitCode::FAILURE
+            }
+        };
     }
     match lint(&text) {
         Ok((lines, runs)) => {
@@ -326,10 +356,36 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::lint;
+    use super::{lint, lint_bench};
 
     fn line(s: &str) -> String {
         s.replace("SCHEMA", minobs_obs::SCHEMA)
+    }
+
+    fn bench_text(p99: &str, achieved: &str) -> String {
+        format!(
+            r#"{{"schema":"{}","id":"t","kind":"svc_open_loop","meta":{{"timestamp":"2026-08-07T00:00:00Z","rustc":"rustc","threads":1}},"offered_qps":100.0,"achieved_qps":{achieved},"latency_ns":{{"count":10,"p50":100,"p95":200,"p99":{p99},"max":5000}}}}"#,
+            minobs_obs::BENCH_SCHEMA
+        )
+    }
+
+    #[test]
+    fn bench_artifacts_are_detected_and_validated() {
+        // A valid artifact passes the bench path.
+        assert_eq!(lint_bench(&bench_text("300", "90.0")), Some(Ok(())));
+        // Non-monotone quantiles are a violation (p99 < p95).
+        let err = lint_bench(&bench_text("150", "90.0")).unwrap().unwrap_err();
+        assert!(err.contains("monotone"), "{err}");
+        // achieved above offered is a violation.
+        let err = lint_bench(&bench_text("300", "120.0")).unwrap().unwrap_err();
+        assert!(err.contains("exceeds offered"), "{err}");
+        // A JSONL trace line is NOT a bench artifact: falls through.
+        assert!(lint_bench(&line(
+            r#"{"schema":"SCHEMA","event":"svc_request","round":0,"seq":0,"method":"stats"}"#
+        ))
+        .is_none());
+        // A single object under some other schema also falls through.
+        assert!(lint_bench(r#"{"schema":"minobs/other/v1"}"#).is_none());
     }
 
     #[test]

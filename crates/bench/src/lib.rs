@@ -179,9 +179,9 @@ impl Report {
 }
 
 /// The provenance block embedded in every artifact: wall-clock timestamp,
-/// toolchain version, machine parallelism, and (when tracing was on) the
-/// JSONL trace the run produced.
-fn run_metadata(trace: Option<&Path>) -> Value {
+/// toolchain version, host name, machine parallelism, and (when tracing
+/// was on) the JSONL trace the run produced.
+pub fn artifact_meta(trace: Option<&Path>) -> Value {
     let mut meta = Map::new();
     let unix_secs = SystemTime::now()
         .duration_since(UNIX_EPOCH)
@@ -190,6 +190,7 @@ fn run_metadata(trace: Option<&Path>) -> Value {
     meta.insert("unix_secs", Value::from(unix_secs));
     meta.insert("timestamp", Value::from(iso8601_utc(unix_secs)));
     meta.insert("rustc", Value::from(rustc_version()));
+    meta.insert("host", Value::from(host_name()));
     meta.insert(
         "threads",
         Value::from(
@@ -206,6 +207,78 @@ fn run_metadata(trace: Option<&Path>) -> Value {
         },
     );
     Value::Object(meta)
+}
+
+fn run_metadata(trace: Option<&Path>) -> Value {
+    artifact_meta(trace)
+}
+
+fn host_name() -> String {
+    std::env::var("HOSTNAME")
+        .ok()
+        .filter(|h| !h.is_empty())
+        .or_else(|| {
+            Command::new("hostname")
+                .output()
+                .ok()
+                .filter(|out| out.status.success())
+                .and_then(|out| String::from_utf8(out.stdout).ok())
+                .map(|s| s.trim().to_string())
+                .filter(|h| !h.is_empty())
+        })
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Writes a `minobs/bench/v1` artifact: stamps `schema`, `id`, and the
+/// provenance `meta` block onto `body`, validates the result against
+/// [`minobs_obs::validate_bench_artifact`], and writes it to `out` (or
+/// `<experiment_dir>/<id>.json` when `out` is `None`). Returns the path
+/// on success; schema violations and i/o failures go to stderr.
+pub fn write_bench_artifact(out: Option<&Path>, id: &str, body: Map) -> Option<PathBuf> {
+    let mut artifact = Map::new();
+    artifact.insert("schema", Value::from(minobs_obs::BENCH_SCHEMA));
+    artifact.insert("id", Value::from(id));
+    artifact.insert("meta", artifact_meta(None));
+    for (key, value) in body.iter() {
+        if key != "schema" && key != "id" && key != "meta" {
+            artifact.insert(key.clone(), value.clone());
+        }
+    }
+    let artifact = Value::Object(artifact);
+    if let Err(err) = minobs_obs::validate_bench_artifact(&artifact) {
+        eprintln!("minobs-bench: refusing to write invalid bench artifact: {err}");
+        return None;
+    }
+    let path = match out {
+        Some(path) => path.to_path_buf(),
+        None => {
+            let dir = experiment_dir();
+            if let Err(err) = fs::create_dir_all(&dir) {
+                eprintln!(
+                    "minobs-bench: cannot create artifact dir {}: {err}",
+                    dir.display()
+                );
+                return None;
+            }
+            dir.join(format!("{id}.json"))
+        }
+    };
+    let json = match serde_json::to_string_pretty(&artifact) {
+        Ok(json) => json,
+        Err(err) => {
+            eprintln!("minobs-bench: bench artifact serialisation failed: {err}");
+            return None;
+        }
+    };
+    if let Err(err) = fs::write(&path, json) {
+        eprintln!(
+            "minobs-bench: cannot write bench artifact {}: {err}",
+            path.display()
+        );
+        return None;
+    }
+    println!("[bench artifact {}]", path.display());
+    Some(path)
 }
 
 fn rustc_version() -> String {
@@ -300,6 +373,35 @@ mod tests {
         assert!(path.ends_with("selftest_metrics.metrics.json"));
         let read: Value = serde_json::from_str(&std::fs::read_to_string(path).unwrap()).unwrap();
         assert_eq!(read, snapshot);
+    }
+
+    #[test]
+    fn bench_artifact_is_stamped_validated_and_refused_when_invalid() {
+        let mut latency = Map::new();
+        latency.insert("count", Value::from(5u64));
+        latency.insert("p50", Value::from(1u64));
+        latency.insert("p95", Value::from(2u64));
+        latency.insert("p99", Value::from(3u64));
+        latency.insert("max", Value::from(4u64));
+        let mut body = Map::new();
+        body.insert("kind", Value::from("checker"));
+        body.insert("achieved_qps", Value::from(10.0));
+        body.insert("latency_ns", Value::Object(latency));
+        let path = write_bench_artifact(None, "selftest_bench", body).expect("written");
+        let value: Value = serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        minobs_obs::validate_bench_artifact(&value).unwrap();
+        assert_eq!(
+            value.get("schema").and_then(Value::as_str),
+            Some(minobs_obs::BENCH_SCHEMA)
+        );
+        let meta = value.get("meta").expect("meta block");
+        assert!(meta.get("host").and_then(Value::as_str).is_some());
+        assert!(meta.get("rustc").and_then(Value::as_str).is_some());
+
+        // A body that violates the schema is refused, not written.
+        let mut bad = Map::new();
+        bad.insert("kind", Value::from("checker"));
+        assert!(write_bench_artifact(None, "selftest_bench_bad", bad).is_none());
     }
 
     #[test]

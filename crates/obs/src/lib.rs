@@ -23,12 +23,14 @@
 //! See `docs/OBSERVABILITY.md` for the JSONL schema reference and the
 //! `MINOBS_TRACE` / `MINOBS_EXP_DIR` environment knobs.
 
+pub mod bench;
 mod event;
 mod metrics;
 mod recorder;
 mod sink;
 mod span;
 
+pub use bench::{validate_bench_artifact, BENCH_SCHEMA};
 pub use event::{MessageStatus, RoundCounts, TraceEvent, SCHEMA};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRecorder, MetricsRegistry};
 pub use recorder::{replay_event, MemoryRecorder, NullRecorder, Recorder, TeeRecorder};

@@ -148,6 +148,29 @@ impl Histogram {
         &self.bounds
     }
 
+    /// Folds another histogram's observations into this one. The two
+    /// histograms must share identical bounds — multi-thread drivers give
+    /// each thread its own instrument and merge at the end, so the merged
+    /// quantiles have exactly the same semantics as a single shared
+    /// histogram would (bucket counts are additive).
+    pub fn merge_from(&self, other: &Histogram) -> Result<(), String> {
+        if self.bounds != other.bounds {
+            return Err(format!(
+                "histogram bounds differ: {} vs {} buckets",
+                self.bounds.len(),
+                other.bounds.len()
+            ));
+        }
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        Ok(())
+    }
+
     /// Estimates the `q`-quantile (`q` in `0.0..=1.0`, clamped) by linear
     /// interpolation inside the bucket where the cumulative count crosses
     /// `q * count` — the same estimate Prometheus's `histogram_quantile`
@@ -558,6 +581,30 @@ mod tests {
         assert_eq!(h.bucket_counts(), vec![2, 1, 1]);
         assert_eq!(h.count(), 4);
         assert_eq!(h.sum(), 1065);
+    }
+
+    #[test]
+    fn merge_from_is_additive_per_bucket() {
+        let a = Histogram::new(&[10, 100]);
+        let b = Histogram::new(&[10, 100]);
+        a.observe(5);
+        a.observe(50);
+        b.observe(7);
+        b.observe(5_000);
+        a.merge_from(&b).unwrap();
+        assert_eq!(a.bucket_counts(), vec![2, 1, 1]);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.sum(), 5_062);
+        // Quantiles over the merged instrument behave as if one shared
+        // histogram had seen every observation.
+        assert_eq!(a.quantile(1.0), Some(100.0));
+    }
+
+    #[test]
+    fn merge_from_rejects_mismatched_bounds() {
+        let a = Histogram::new(&[10, 100]);
+        let b = Histogram::new(&[10]);
+        assert!(a.merge_from(&b).is_err());
     }
 
     #[test]

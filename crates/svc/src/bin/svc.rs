@@ -4,29 +4,51 @@
 //! svc call <method> [params-json] [--addr HOST:PORT]
 //! svc bench [--addr HOST:PORT] [--threads N] [--requests M]
 //!           [--method NAME] [--params JSON]
+//! svc bench --open-loop --freq N [--duration S] [--threads N]
+//!           [--mix solvable=8,check_horizon=1] [--inflight-cap N]
+//!           [--tick S] [--out PATH] [--id NAME]
+//! svc bench --sweep lo:hi:steps [--duration S] [--p99-bound-ms X]
+//!           [--expect-knee] [...open-loop flags]
 //! svc top [--addr HOST:PORT] [--interval SECS] [--iterations N]
 //!         [--no-clear]
 //! ```
 //!
-//! The address defaults to `MINOBS_SVC_ADDR`. `bench` is a closed-loop
-//! load generator: each thread opens its own connection and issues its
-//! requests back to back, then latencies are pooled for percentiles.
-//! The very first request is reported separately as the cold-cache
-//! latency, so a warm/cold comparison is one run's output. After the
-//! run, the daemon's metrics snapshot is written next to the experiment
-//! artifacts as `svc_bench.metrics.json`.
+//! The address defaults to `MINOBS_SVC_ADDR`. `bench` has two modes with
+//! identical latency semantics (both pool observations into
+//! `minobs_obs::Histogram`):
 //!
-//! `top` polls `stats` and renders a live view: request rate, in-flight
-//! requests, cache hit ratio, and per-method latency percentiles.
+//! * **closed-loop** (default): each thread issues its requests back to
+//!   back, waiting for every response. Simple, but the driver slows down
+//!   with the daemon, so queueing delay is hidden (coordinated
+//!   omission). The very first request is reported separately as the
+//!   cold-cache latency.
+//! * **open-loop** (`--open-loop` / `--sweep`): requests are issued on a
+//!   fixed virtual-deadline schedule that never waits for responses, and
+//!   latency is measured from the send *deadline* — see
+//!   `docs/BENCHMARKING.md`.
+//!
+//! Every bench run emits a `minobs/bench/v1` artifact (via
+//! `minobs-bench`), and `--sweep` additionally locates the saturation
+//! knee: the first frequency where achieved throughput falls below 90%
+//! of offered, or p99 exceeds `--p99-bound-ms`.
+//!
+//! `top` polls `stats` and renders a live view: request rate, queued
+//! backlog, cache hit ratio, and per-method latency percentiles.
 
+use minobs_obs::Histogram;
 use minobs_svc::client::SvcClient;
-use serde_json::Value;
+use minobs_svc::loadgen::{
+    find_knee, parse_mix, run_open_loop, KneeCriteria, MixEntry, OpenLoopConfig, OpenLoopSummary,
+    SweepSpec, TrialPoint,
+};
+use serde_json::{Map, Value};
+use std::path::PathBuf;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  svc call <method> [params-json] [--addr HOST:PORT]\n  svc bench [--addr HOST:PORT] [--threads N] [--requests M] [--method NAME] [--params JSON]\n  svc top [--addr HOST:PORT] [--interval SECS] [--iterations N] [--no-clear]"
+        "usage:\n  svc call <method> [params-json] [--addr HOST:PORT]\n  svc bench [--addr HOST:PORT] [--threads N] [--requests M] [--method NAME] [--params JSON]\n  svc bench --open-loop --freq N [--duration S] [--threads N] [--mix m1=w1,m2=w2] [--inflight-cap N] [--tick S] [--out PATH] [--id NAME]\n  svc bench --sweep lo:hi:steps [--duration S] [--p99-bound-ms X] [--expect-knee] [open-loop flags]\n  svc top [--addr HOST:PORT] [--interval SECS] [--iterations N] [--no-clear]"
     );
     ExitCode::FAILURE
 }
@@ -42,7 +64,7 @@ fn main() -> ExitCode {
     let args = minobs_bench::cli::handle_common_flags(
         "svc",
         "client and load generator for the solvability-query daemon",
-        "svc call stats | svc bench --threads 2 --requests 100",
+        "svc call stats | svc bench --open-loop --freq 200 --duration 5",
     );
     match args.first().map(String::as_str) {
         Some("call") => call(&args[1..]),
@@ -101,17 +123,141 @@ fn call(args: &[String]) -> ExitCode {
     }
 }
 
-struct ThreadOutcome {
-    latencies_ns: Vec<u64>,
-    errors: usize,
+/// Default params for every method the bench mixes know how to call.
+/// Pinned values so runs stay comparable across sessions.
+fn default_params(method: &str) -> Option<Value> {
+    let text = match method {
+        "solvable" => r#"{"scheme":"s1"}"#,
+        "check_horizon" => r#"{"scheme":"s1","horizon":6}"#,
+        "first_horizon" => r#"{"scheme":"s1","max_horizon":4}"#,
+        "net_solvable" => r#"{"graph":"petersen","f":2}"#,
+        "stats" => "null",
+        _ => return None,
+    };
+    serde_json::from_str(text).ok()
+}
+
+/// Turns a `--mix` spec into full entries, rejecting methods the bench
+/// has no pinned params for.
+fn build_mix(spec: &str) -> Result<Vec<MixEntry>, String> {
+    parse_mix(spec)?
+        .into_iter()
+        .map(|(method, weight)| {
+            let params = default_params(&method)
+                .ok_or_else(|| format!("mix method {method:?} has no pinned bench params"))?;
+            Ok(MixEntry {
+                method,
+                params,
+                weight,
+            })
+        })
+        .collect()
+}
+
+/// Serialises a latency histogram into the `minobs/bench/v1`
+/// `latency_ns` block. Quantiles are clamped to the exact observed
+/// maximum: bucket interpolation can overestimate inside the top
+/// occupied bucket, and the schema requires `p99 <= max`.
+fn latency_block(latency: &Histogram, max_ns: u64) -> Value {
+    let q = |q: f64| {
+        latency
+            .quantile(q)
+            .map(|v| v.min(max_ns as f64))
+            .unwrap_or(0.0)
+    };
+    let mut block = Map::new();
+    block.insert("count", Value::from(latency.count()));
+    block.insert("p50", Value::from(q(0.50)));
+    block.insert("p95", Value::from(q(0.95)));
+    block.insert("p99", Value::from(q(0.99)));
+    block.insert("max", Value::from(max_ns as f64));
+    Value::Object(block)
+}
+
+fn print_latency(label: &str, latency: &Histogram, max_ns: u64) {
+    let q = |q: f64| {
+        latency
+            .quantile(q)
+            .map(|v| v.min(max_ns as f64) / 1_000.0)
+            .unwrap_or(0.0)
+    };
+    println!(
+        "  {label} latency µs: p50 {:.1} p95 {:.1} p99 {:.1} max {:.1}",
+        q(0.50),
+        q(0.95),
+        q(0.99),
+        max_ns as f64 / 1_000.0
+    );
+}
+
+fn counter(stats: &Value, name: &str) -> u64 {
+    stats
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .and_then(|c| c.get(name))
+        .and_then(Value::as_u64)
+        .unwrap_or(0)
+}
+
+/// `(hits + subsumed) / lookups`, or `Null` before any cache traffic.
+fn cache_hit_ratio(stats: &Value) -> Value {
+    let hits = counter(stats, "svc.cache_hits");
+    let misses = counter(stats, "svc.cache_misses");
+    let subsumed = counter(stats, "svc.cache_subsumptions");
+    let lookups = hits + misses + subsumed;
+    if lookups == 0 {
+        Value::Null
+    } else {
+        Value::from((hits + subsumed) as f64 / lookups as f64)
+    }
+}
+
+fn fetch_stats(addr: &str) -> Option<Value> {
+    SvcClient::connect(addr)
+        .and_then(|mut c| c.call("stats", Value::Null))
+        .map_err(|err| eprintln!("svc bench: stats snapshot failed: {err}"))
+        .ok()
+}
+
+struct BenchOpts {
+    addr: String,
+    threads: usize,
+    requests: usize,
+    method: String,
+    params_text: String,
+    open_loop: bool,
+    freq: Option<f64>,
+    duration_s: f64,
+    mix_spec: String,
+    inflight_cap: usize,
+    tick_s: f64,
+    sweep: Option<SweepSpec>,
+    p99_bound_ms: Option<f64>,
+    expect_knee: bool,
+    out: Option<PathBuf>,
+    id: String,
 }
 
 fn bench(args: &[String]) -> ExitCode {
+    let mut opts = BenchOpts {
+        addr: String::new(),
+        threads: 2,
+        requests: 50,
+        method: "check_horizon".to_string(),
+        params_text: r#"{"scheme":"s1","horizon":6}"#.to_string(),
+        open_loop: false,
+        freq: None,
+        duration_s: 5.0,
+        mix_spec: "solvable=8,check_horizon=1,net_solvable=1".to_string(),
+        inflight_cap: 64,
+        tick_s: 1.0,
+        sweep: None,
+        p99_bound_ms: None,
+        expect_knee: false,
+        out: None,
+        id: "bench_svc".to_string(),
+    };
     let mut addr = env_addr();
-    let mut threads = 2usize;
-    let mut requests = 50usize;
-    let mut method = "check_horizon".to_string();
-    let mut params_text = r#"{"scheme":"s1","horizon":6}"#.to_string();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -120,19 +266,61 @@ fn bench(args: &[String]) -> ExitCode {
                 None => return usage(),
             },
             "--threads" => match it.next().and_then(|s| s.parse().ok()) {
-                Some(n) if n > 0 => threads = n,
+                Some(n) if n > 0 => opts.threads = n,
                 _ => return usage(),
             },
             "--requests" => match it.next().and_then(|s| s.parse().ok()) {
-                Some(n) if n > 0 => requests = n,
+                Some(n) if n > 0 => opts.requests = n,
                 _ => return usage(),
             },
             "--method" => match it.next() {
-                Some(m) => method = m.clone(),
+                Some(m) => opts.method = m.clone(),
                 None => return usage(),
             },
             "--params" => match it.next() {
-                Some(p) => params_text = p.clone(),
+                Some(p) => opts.params_text = p.clone(),
+                None => return usage(),
+            },
+            "--open-loop" => opts.open_loop = true,
+            "--freq" => match it.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(f) if f > 0.0 && f.is_finite() => opts.freq = Some(f),
+                _ => return usage(),
+            },
+            "--duration" => match it.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(s) if s > 0.0 && s.is_finite() => opts.duration_s = s,
+                _ => return usage(),
+            },
+            "--mix" => match it.next() {
+                Some(m) => opts.mix_spec = m.clone(),
+                None => return usage(),
+            },
+            "--inflight-cap" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => opts.inflight_cap = n,
+                _ => return usage(),
+            },
+            "--tick" => match it.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(s) if s >= 0.0 => opts.tick_s = s,
+                _ => return usage(),
+            },
+            "--sweep" => match it.next().map(|s| SweepSpec::parse(s)) {
+                Some(Ok(spec)) => opts.sweep = Some(spec),
+                Some(Err(err)) => {
+                    eprintln!("svc bench: {err}");
+                    return usage();
+                }
+                None => return usage(),
+            },
+            "--p99-bound-ms" => match it.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(b) if b > 0.0 => opts.p99_bound_ms = Some(b),
+                _ => return usage(),
+            },
+            "--expect-knee" => opts.expect_knee = true,
+            "--out" => match it.next() {
+                Some(p) => opts.out = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--id" => match it.next() {
+                Some(i) => opts.id = i.clone(),
                 None => return usage(),
             },
             _ => return usage(),
@@ -142,7 +330,256 @@ fn bench(args: &[String]) -> ExitCode {
         eprintln!("svc bench: no address (pass --addr or set MINOBS_SVC_ADDR)");
         return ExitCode::FAILURE;
     };
-    let params: Value = match serde_json::from_str(&params_text) {
+    opts.addr = addr;
+
+    if opts.sweep.is_some() {
+        bench_sweep(&opts)
+    } else if opts.open_loop {
+        bench_open_loop(&opts)
+    } else {
+        bench_closed_loop(&opts)
+    }
+}
+
+/// Builds the open-loop config shared by single runs and sweep trials.
+fn open_loop_config(opts: &BenchOpts, freq: f64) -> Result<OpenLoopConfig, String> {
+    Ok(OpenLoopConfig {
+        freq,
+        duration: Duration::from_secs_f64(opts.duration_s),
+        threads: opts.threads,
+        mix: build_mix(&opts.mix_spec)?,
+        inflight_cap: opts.inflight_cap,
+        tick: (opts.tick_s > 0.0).then(|| Duration::from_secs_f64(opts.tick_s)),
+    })
+}
+
+fn mix_value(mix: &[MixEntry]) -> Value {
+    let mut map = Map::new();
+    for entry in mix {
+        map.insert(entry.method.clone(), Value::from(entry.weight));
+    }
+    Value::Object(map)
+}
+
+/// The per-run fields shared by open-loop artifacts and sweep trials.
+fn summary_fields(map: &mut Map, summary: &OpenLoopSummary) {
+    map.insert("offered_qps", Value::from(summary.offered_qps));
+    map.insert("achieved_qps", Value::from(summary.achieved_qps));
+    map.insert("sent", Value::from(summary.sent));
+    map.insert("completed", Value::from(summary.completed));
+    map.insert("errors", Value::from(summary.errors));
+    map.insert("dropped_by_cap", Value::from(summary.dropped_by_cap));
+    map.insert("elapsed_s", Value::from(summary.elapsed_s));
+    map.insert(
+        "latency_ns",
+        latency_block(&summary.latency, summary.max_latency_ns),
+    );
+}
+
+fn print_summary(summary: &OpenLoopSummary) {
+    println!(
+        "  offered {:.1}/s → achieved {:.1}/s ({} sent, {} completed, {} errors, {} dropped_by_cap) in {:.2}s",
+        summary.offered_qps,
+        summary.achieved_qps,
+        summary.sent,
+        summary.completed,
+        summary.errors,
+        summary.dropped_by_cap,
+        summary.elapsed_s,
+    );
+    print_latency("deadline→response", &summary.latency, summary.max_latency_ns);
+}
+
+fn bench_open_loop(opts: &BenchOpts) -> ExitCode {
+    let Some(freq) = opts.freq else {
+        eprintln!("svc bench: --open-loop needs --freq");
+        return usage();
+    };
+    let config = match open_loop_config(opts, freq) {
+        Ok(config) => config,
+        Err(err) => {
+            eprintln!("svc bench: {err}");
+            return usage();
+        }
+    };
+    println!(
+        "svc bench (open-loop): {:.1}/s for {:.1}s, {} threads, mix {}, cap {} against {}",
+        freq, opts.duration_s, opts.threads, opts.mix_spec, opts.inflight_cap, opts.addr
+    );
+    let summary = match run_open_loop(&opts.addr, &config) {
+        Ok(summary) => summary,
+        Err(err) => {
+            eprintln!("svc bench: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_summary(&summary);
+
+    let mut body = Map::new();
+    body.insert("kind", Value::from("svc_open_loop"));
+    body.insert("freq", Value::from(freq));
+    body.insert("duration_s", Value::from(opts.duration_s));
+    body.insert("threads", Value::from(opts.threads));
+    body.insert("inflight_cap", Value::from(opts.inflight_cap));
+    body.insert("mix", mix_value(&config.mix));
+    summary_fields(&mut body, &summary);
+    attach_daemon_view(&mut body, &opts.addr);
+    if minobs_bench::write_bench_artifact(opts.out.as_deref(), &opts.id, body).is_none() {
+        return ExitCode::FAILURE;
+    }
+    if summary.errors == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Adds the daemon's own post-run view: cache hit ratio, queued depth,
+/// and the full `stats` snapshot (per-method histograms included).
+fn attach_daemon_view(body: &mut Map, addr: &str) {
+    if let Some(stats) = fetch_stats(addr) {
+        body.insert("cache_hit_ratio", cache_hit_ratio(&stats));
+        body.insert(
+            "queued",
+            stats
+                .get("queued")
+                .cloned()
+                .unwrap_or(Value::Null),
+        );
+        body.insert("daemon_stats", stats);
+    }
+}
+
+fn bench_sweep(opts: &BenchOpts) -> ExitCode {
+    let spec = opts.sweep.expect("sweep spec checked by caller");
+    if opts.freq.is_some() {
+        eprintln!("svc bench: --sweep and --freq are mutually exclusive");
+        return usage();
+    }
+    println!(
+        "svc bench (sweep): {:.1}..{:.1}/s in {} steps, {:.1}s per trial, mix {} against {}",
+        spec.lo, spec.hi, spec.steps, opts.duration_s, opts.mix_spec, opts.addr
+    );
+    let mut trials = Vec::with_capacity(spec.steps);
+    let mut rows = Vec::with_capacity(spec.steps);
+    for freq in spec.frequencies() {
+        let config = match open_loop_config(opts, freq) {
+            Ok(config) => config,
+            Err(err) => {
+                eprintln!("svc bench: {err}");
+                return usage();
+            }
+        };
+        let summary = match run_open_loop(&opts.addr, &config) {
+            Ok(summary) => summary,
+            Err(err) => {
+                eprintln!("svc bench: trial at {freq:.1}/s failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let p99 = summary
+            .latency
+            .quantile(0.99)
+            .map(|v| v.min(summary.max_latency_ns as f64));
+        println!(
+            "  freq {:>8.1}/s → achieved {:>8.1}/s  p99 {:>8.2} ms  dropped_by_cap {}",
+            freq,
+            summary.achieved_qps,
+            p99.unwrap_or(0.0) / 1.0e6,
+            summary.dropped_by_cap,
+        );
+        trials.push(TrialPoint {
+            offered_qps: summary.offered_qps,
+            achieved_qps: summary.achieved_qps,
+            p99_ns: p99,
+        });
+        rows.push(summary);
+    }
+
+    let criteria = KneeCriteria {
+        achieved_ratio: 0.9,
+        p99_bound_ns: opts.p99_bound_ms.map(|ms| ms * 1.0e6),
+    };
+    let knee = find_knee(&trials, &criteria);
+    match knee {
+        Some(i) => println!(
+            "  saturation knee at {:.1}/s (trial {}): achieved {:.1}/s, p99 {:.2} ms",
+            trials[i].offered_qps,
+            i,
+            trials[i].achieved_qps,
+            trials[i].p99_ns.unwrap_or(0.0) / 1.0e6,
+        ),
+        None => println!("  no saturation knee located in this range"),
+    }
+
+    let mut body = Map::new();
+    body.insert("kind", Value::from("svc_open_loop_sweep"));
+    body.insert("duration_s", Value::from(opts.duration_s));
+    body.insert("threads", Value::from(opts.threads));
+    body.insert("inflight_cap", Value::from(opts.inflight_cap));
+    body.insert(
+        "mix",
+        match build_mix(&opts.mix_spec) {
+            Ok(mix) => mix_value(&mix),
+            Err(_) => Value::Null,
+        },
+    );
+    // Root-level rates describe the top-of-sweep point; per-trial data
+    // is under `sweep`.
+    if let Some(last) = rows.last() {
+        summary_fields(&mut body, last);
+    }
+    body.insert(
+        "sweep",
+        Value::Array(
+            rows.iter()
+                .map(|summary| {
+                    let mut trial = Map::new();
+                    trial.insert("freq", Value::from(summary.offered_qps));
+                    summary_fields(&mut trial, summary);
+                    Value::Object(trial)
+                })
+                .collect(),
+        ),
+    );
+    body.insert(
+        "knee",
+        match knee {
+            Some(i) => {
+                let mut k = Map::new();
+                k.insert("index", Value::from(i));
+                k.insert("offered_qps", Value::from(trials[i].offered_qps));
+                k.insert("achieved_qps", Value::from(trials[i].achieved_qps));
+                k.insert(
+                    "p99_ns",
+                    trials[i].p99_ns.map(Value::from).unwrap_or(Value::Null),
+                );
+                Value::Object(k)
+            }
+            None => Value::Null,
+        },
+    );
+    attach_daemon_view(&mut body, &opts.addr);
+    if minobs_bench::write_bench_artifact(opts.out.as_deref(), &opts.id, body).is_none() {
+        return ExitCode::FAILURE;
+    }
+    if opts.expect_knee && knee.is_none() {
+        eprintln!("svc bench: --expect-knee, but the sweep never saturated");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+struct ThreadOutcome {
+    latency: Histogram,
+    max_ns: u64,
+    errors: usize,
+}
+
+fn bench_closed_loop(opts: &BenchOpts) -> ExitCode {
+    let addr = &opts.addr;
+    let (threads, requests, method) = (opts.threads, opts.requests, &opts.method);
+    let params: Value = match serde_json::from_str(&opts.params_text) {
         Ok(value) => value,
         Err(err) => {
             eprintln!("svc bench: params are not JSON: {err:?}");
@@ -161,7 +598,7 @@ fn bench(args: &[String]) -> ExitCode {
             }
         };
         let start = Instant::now();
-        if let Err(err) = client.call(&method, params.clone()) {
+        if let Err(err) = client.call(method, params.clone()) {
             eprintln!("svc bench: cold request failed: {err}");
             return ExitCode::FAILURE;
         }
@@ -182,44 +619,54 @@ fn bench(args: &[String]) -> ExitCode {
     });
     let elapsed = started.elapsed();
 
-    let mut latencies: Vec<u64> = outcomes
-        .iter()
-        .flat_map(|o| o.latencies_ns.iter().copied())
-        .collect();
-    let errors: usize = outcomes.iter().map(|o| o.errors).sum();
-    latencies.sort_unstable();
-    let ok = latencies.len();
+    // Pool per-thread histograms — the same merge the open-loop driver
+    // uses, so both modes report quantiles with identical semantics.
+    let latency = Histogram::new(&Histogram::latency_bounds());
+    let mut max_ns = 0u64;
+    let mut errors = 0usize;
+    for outcome in &outcomes {
+        if let Err(err) = latency.merge_from(&outcome.latency) {
+            eprintln!("svc bench: histogram merge failed: {err}");
+            return ExitCode::FAILURE;
+        }
+        max_ns = max_ns.max(outcome.max_ns);
+        errors += outcome.errors;
+    }
+    let ok = latency.count();
     let throughput = ok as f64 / elapsed.as_secs_f64().max(1e-9);
 
-    println!(
-        "svc bench: {threads} threads × {requests} requests of {method} against {addr}"
-    );
+    println!("svc bench: {threads} threads × {requests} requests of {method} against {addr}");
     println!(
         "  {ok} ok, {errors} err in {:.3}s → {throughput:.1} req/s",
         elapsed.as_secs_f64()
     );
-    if ok > 0 {
-        println!(
-            "  warm latency µs: p50 {} p90 {} p99 {} max {}",
-            percentile(&latencies, 50) / 1_000,
-            percentile(&latencies, 90) / 1_000,
-            percentile(&latencies, 99) / 1_000,
-            latencies[ok - 1] / 1_000
-        );
-        let warm_mean = latencies.iter().sum::<u64>() / ok as u64;
+    if let Some(warm_mean) = latency.sum().checked_div(ok) {
+        print_latency("warm", &latency, max_ns);
         println!(
             "  cold first request: {} µs ({:.1}× warm mean)",
             cold_ns / 1_000,
             cold_ns as f64 / warm_mean.max(1) as f64
         );
     }
+
+    let mut body = Map::new();
+    body.insert("kind", Value::from("svc_closed_loop"));
+    body.insert("threads", Value::from(threads));
+    body.insert("requests_per_thread", Value::from(requests));
+    body.insert("method", Value::from(method.as_str()));
+    body.insert("achieved_qps", Value::from(throughput));
+    body.insert("sent", Value::from(ok + errors as u64));
+    body.insert("completed", Value::from(ok));
+    body.insert("errors", Value::from(errors));
+    body.insert("elapsed_s", Value::from(elapsed.as_secs_f64()));
+    body.insert("cold_first_request_ns", Value::from(cold_ns));
+    body.insert("latency_ns", latency_block(&latency, max_ns));
+    attach_daemon_view(&mut body, addr);
+    minobs_bench::write_bench_artifact(opts.out.as_deref(), &opts.id, body);
     // The daemon's own view of the run, written next to the experiment
     // artifacts so bench reports carry the server-side histograms too.
-    match SvcClient::connect(addr.as_str()).and_then(|mut c| c.call("stats", Value::Null)) {
-        Ok(stats) => {
-            minobs_bench::write_metrics_snapshot("svc_bench", &stats);
-        }
-        Err(err) => eprintln!("svc bench: stats snapshot failed: {err}"),
+    if let Some(stats) = fetch_stats(addr) {
+        minobs_bench::write_metrics_snapshot("svc_bench", &stats);
     }
 
     if errors == 0 {
@@ -297,15 +744,6 @@ fn top(args: &[String]) -> ExitCode {
     }
 }
 
-fn counter(stats: &Value, name: &str) -> u64 {
-    stats
-        .get("metrics")
-        .and_then(|m| m.get("counters"))
-        .and_then(|c| c.get(name))
-        .and_then(Value::as_u64)
-        .unwrap_or(0)
-}
-
 /// Prints one `top` frame from a `stats` response and returns the sample
 /// used to compute the next frame's rates.
 fn render_top_frame(addr: &str, stats: &Value, previous: Option<&TopSample>) -> TopSample {
@@ -324,7 +762,12 @@ fn render_top_frame(addr: &str, stats: &Value, previous: Option<&TopSample>) -> 
             (responses.saturating_sub(p.responses)) as f64 / dt
         })
         .unwrap_or(0.0);
-    let in_flight = requests.saturating_sub(responses);
+    // The daemon reports its own backlog; fall back to the client-side
+    // derivation for daemons predating the `queued` field.
+    let queued = stats
+        .get("queued")
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| requests.saturating_sub(responses));
     let lookups = hits + misses + subsumed;
     let hit_ratio = if lookups > 0 {
         (hits + subsumed) as f64 / lookups as f64 * 100.0
@@ -345,7 +788,7 @@ fn render_top_frame(addr: &str, stats: &Value, previous: Option<&TopSample>) -> 
         if draining { ", DRAINING" } else { "" }
     );
     println!(
-        "  {qps:.1} req/s | {requests} requests ({responses_ok} ok, {responses_err} err) | {in_flight} in flight"
+        "  {qps:.1} req/s | {requests} requests ({responses_ok} ok, {responses_err} err) | {queued} queued"
     );
     println!(
         "  cache: {hit_ratio:.1}% hit ({hits} hit, {subsumed} subsumed, {misses} miss)"
@@ -381,7 +824,8 @@ fn render_top_frame(addr: &str, stats: &Value, previous: Option<&TopSample>) -> 
 
 fn run_thread(addr: &str, method: &str, params: &Value, requests: usize) -> ThreadOutcome {
     let mut outcome = ThreadOutcome {
-        latencies_ns: Vec::with_capacity(requests),
+        latency: Histogram::new(&Histogram::latency_bounds()),
+        max_ns: 0,
         errors: 0,
     };
     let mut client = match SvcClient::connect(addr) {
@@ -395,7 +839,11 @@ fn run_thread(addr: &str, method: &str, params: &Value, requests: usize) -> Thre
     for _ in 0..requests {
         let start = Instant::now();
         match client.call(method, params.clone()) {
-            Ok(_) => outcome.latencies_ns.push(start.elapsed().as_nanos() as u64),
+            Ok(_) => {
+                let nanos = start.elapsed().as_nanos() as u64;
+                outcome.latency.observe(nanos);
+                outcome.max_ns = outcome.max_ns.max(nanos);
+            }
             Err(err) => {
                 eprintln!("svc bench: request failed: {err}");
                 outcome.errors += 1;
@@ -403,13 +851,4 @@ fn run_thread(addr: &str, method: &str, params: &Value, requests: usize) -> Thre
         }
     }
     outcome
-}
-
-/// Nearest-rank percentile over sorted data.
-fn percentile(sorted: &[u64], p: usize) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = (p * sorted.len()).div_ceil(100).max(1);
-    sorted[rank.min(sorted.len()) - 1]
 }

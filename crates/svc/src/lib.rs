@@ -21,6 +21,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod loadgen;
 pub mod methods;
 pub mod server;
 pub mod spec;

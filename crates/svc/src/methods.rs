@@ -612,17 +612,33 @@ fn parse_edge(entry: &Value) -> Result<(usize, usize), RpcError> {
     ))
 }
 
-/// `stats`: daemon uptime, pool size, a full metrics snapshot (including
-/// the `svc.cache_*` counters), and per-method latency quantiles.
+/// `stats`: daemon uptime, pool size, queued depth, a full metrics
+/// snapshot (including the `svc.cache_*` counters), and per-method
+/// latency quantiles.
 fn stats(state: &ServerState) -> Value {
     obj(&[
         ("uptime_ms", Value::from(state.uptime_ms())),
         ("workers", Value::from(state.workers() as u64)),
         ("draining", Value::from(state.draining())),
+        ("queued", Value::from(queued_depth(state))),
         ("cache_entries", Value::from(state.cache().entries() as u64)),
         ("latency", latency_summary(state)),
         ("metrics", state.registry().snapshot()),
     ])
+}
+
+/// Requests accepted but not yet answered (including the `stats` call
+/// computing it, so an idle daemon reports 1 while answering). Derived
+/// from the existing accepted/answered counters and published as the
+/// `svc.queued` gauge so the backlog is visible in every snapshot.
+fn queued_depth(state: &ServerState) -> u64 {
+    let registry = state.registry();
+    let accepted = registry.counter("svc.requests").get();
+    let answered =
+        registry.counter("svc.responses_ok").get() + registry.counter("svc.responses_err").get();
+    let queued = accepted.saturating_sub(answered);
+    registry.gauge("svc.queued").set(queued);
+    queued
 }
 
 /// Per-method latency quantiles from the `svc.method.*.latency_ns`

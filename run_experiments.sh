@@ -27,4 +27,40 @@ for exp in "${EXPERIMENTS[@]}"; do
 done
 
 echo
+echo "================================================================"
+echo ">>> bench_checker (minobs/bench/v1 perf trajectory, checker side)"
+echo "================================================================"
+# The recorded checker baseline: the pinned exp_budget configuration
+# (total_budget(4) at horizons 4/5), timed. Lands at the repo root so
+# the trajectory is versioned alongside the code it measures.
+cargo run --release --quiet --bin bench_checker -- --out BENCH_checker.json
+
+echo
+echo "================================================================"
+echo ">>> bench_svc (open-loop frequency sweep, saturation knee)"
+echo "================================================================"
+# The service-side trajectory: an open-loop sweep that must locate the
+# saturation knee (--expect-knee). The range spans well past the ~20k
+# req/s a single-core box sustains so the knee is inside the sweep.
+cargo build --release --quiet -p minobs-svc
+mkdir -p target/svc
+MINOBS_SVC_ADDR=127.0.0.1:0 target/release/minobs-svcd \
+  > target/svc/bench_daemon.out 2>&1 &
+DAEMON=$!
+trap 'kill "$DAEMON" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+  grep -q "listening on" target/svc/bench_daemon.out && break
+  sleep 0.2
+done
+ADDR=$(sed -n 's/.*listening on //p' target/svc/bench_daemon.out | head -1)
+test -n "$ADDR"
+target/release/svc bench --addr "$ADDR" \
+  --sweep 5000:60000:5 --duration 3 --expect-knee \
+  --out BENCH_svc.json --id bench_svc
+target/release/svc call shutdown --addr "$ADDR" > /dev/null
+wait "$DAEMON" 2>/dev/null || true
+trap - EXIT
+
+echo
 echo "All experiments reproduced. Artifacts: target/experiments/*.json"
+echo "Perf trajectory: BENCH_checker.json, BENCH_svc.json (repo root)"

@@ -104,6 +104,12 @@ impl Map {
         self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
 
+    /// Removes `key`, returning its value when it was present.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let index = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(index).1)
+    }
+
     /// `true` when the key is present.
     pub fn contains_key(&self, key: &str) -> bool {
         self.get(key).is_some()

@@ -378,6 +378,61 @@ fn telemetry_plane_exposes_spans_quantiles_and_exposition() {
     let _ = std::fs::remove_file(&trace_path);
 }
 
+#[test]
+fn open_loop_bench_drives_the_service_end_to_end() {
+    use minobs_svc::loadgen::{run_open_loop, MixEntry, OpenLoopConfig};
+    use std::time::Duration;
+
+    let (server, addr) = start();
+    let config = OpenLoopConfig {
+        freq: 200.0,
+        duration: Duration::from_millis(500),
+        threads: 2,
+        mix: vec![
+            MixEntry {
+                method: "check_horizon".to_string(),
+                params: check_params("s1", 2),
+                weight: 3,
+            },
+            MixEntry {
+                method: "stats".to_string(),
+                params: Value::Null,
+                weight: 1,
+            },
+        ],
+        inflight_cap: 64,
+        tick: None,
+    };
+    let summary = run_open_loop(&addr, &config).expect("open-loop bench runs");
+
+    assert_eq!(summary.errors, 0, "no transport errors against a live daemon");
+    // The comb fires ~freq × duration deadlines; every sent request is
+    // answered (the reader drains pending entries before returning), and
+    // each answer lands in the latency histogram.
+    assert!(summary.sent >= 80, "only {} of ~100 deadlines sent", summary.sent);
+    assert_eq!(summary.completed, summary.sent);
+    assert_eq!(summary.latency.count(), summary.completed);
+    assert!(summary.achieved_qps > 0.0);
+    assert!(summary.achieved_qps <= summary.offered_qps * (1.0 + 1e-9));
+    client_side_queued_is_visible(&addr);
+    let mut client = SvcClient::connect(addr.as_str()).unwrap();
+    client.call("shutdown", Value::Null).unwrap();
+    server.join();
+}
+
+/// `stats` reports the `queued` gauge (accepted − answered). The stats
+/// request itself is accepted but not yet answered while the handler
+/// runs, so an otherwise idle daemon reports exactly 1.
+fn client_side_queued_is_visible(addr: &str) {
+    let mut client = SvcClient::connect(addr).unwrap();
+    let stats = client.call("stats", Value::Null).unwrap();
+    let queued = stats
+        .get("queued")
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("stats carries a queued gauge: {stats:?}"));
+    assert_eq!(queued, 1, "idle daemon: only the stats call itself in flight");
+}
+
 /// Acceptance: repeated `check_horizon` on a warm cache is at least 10×
 /// the cold throughput. Run explicitly (release mode recommended):
 /// `cargo test --release --test svc_service -- --ignored`.
