@@ -273,6 +273,38 @@ fn lint(text: &str) -> Result<(usize, usize), String> {
                     ));
                 }
             }
+            "wal_append" => {
+                let op = value
+                    .get("op")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("line {line_no}: wal_append missing \"op\""))?;
+                if !matches!(op, "horizon" | "theorem" | "snapshot") {
+                    return Err(format!(
+                        "line {line_no}: wal_append op {op:?}, expected horizon/theorem/snapshot"
+                    ));
+                }
+                value
+                    .get("key")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("line {line_no}: wal_append missing \"key\""))?;
+                field_u64(&value, "bytes", line_no)?;
+            }
+            "wal_replay" => {
+                field_u64(&value, "records", line_no)?;
+                field_u64(&value, "bytes", line_no)?;
+                value
+                    .get("dropped_tail")
+                    .and_then(Value::as_bool)
+                    .ok_or_else(|| {
+                        format!("line {line_no}: wal_replay missing boolean \"dropped_tail\"")
+                    })?;
+            }
+            "wal_degraded" => {
+                value
+                    .get("error")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("line {line_no}: wal_degraded missing \"error\""))?;
+            }
             // decision/span/checker_round/checker_progress/horizon need no
             // cross-checks here.
             _ => {}
@@ -583,6 +615,32 @@ mod tests {
             r#"{"schema":"SCHEMA","event":"span_start","round":0,"span_id":0,"parent":null,"name":"a"}"#,
         );
         assert!(lint(&unclosed).unwrap_err().contains("never closed"));
+    }
+
+    #[test]
+    fn validates_wal_events() {
+        let ok = [
+            r#"{"schema":"SCHEMA","event":"wal_replay","round":0,"records":12,"bytes":900,"dropped_tail":true}"#,
+            r#"{"schema":"SCHEMA","event":"wal_append","round":0,"op":"horizon","key":"classic:s1|gamma","bytes":80}"#,
+            r#"{"schema":"SCHEMA","event":"wal_append","round":0,"op":"theorem","key":"classic:s1|theorem","bytes":120}"#,
+            r#"{"schema":"SCHEMA","event":"wal_append","round":0,"op":"snapshot","key":"classic:s1|gamma","bytes":140}"#,
+            r#"{"schema":"SCHEMA","event":"wal_degraded","round":0,"error":"no space left on device"}"#,
+        ]
+        .map(line)
+        .join("\n");
+        assert_eq!(lint(&ok), Ok((5, 0)));
+
+        let bad_op = line(
+            r#"{"schema":"SCHEMA","event":"wal_append","round":0,"op":"patch","key":"k","bytes":1}"#,
+        );
+        assert!(lint(&bad_op).unwrap_err().contains("op"));
+
+        let no_tail_flag =
+            line(r#"{"schema":"SCHEMA","event":"wal_replay","round":0,"records":1,"bytes":10}"#);
+        assert!(lint(&no_tail_flag).unwrap_err().contains("dropped_tail"));
+
+        let no_error = line(r#"{"schema":"SCHEMA","event":"wal_degraded","round":0}"#);
+        assert!(lint(&no_error).unwrap_err().contains("error"));
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Storage fault plans: the adversary DSL pointed at a byte log.
+//!
+//! The rest of this crate attacks *messages in flight*; a [`FaultPlan`]
+//! attacks *bytes at rest* — the failure modes a crash-safe append-only
+//! log must survive. A plan describes what the disk did to a log before
+//! a process restart:
+//!
+//! - **crash** — the process died mid-stream: every byte past
+//!   `crash_after_bytes` was never written;
+//! - **torn tail** — the final `torn_tail_bytes` of what *was* written
+//!   landed only partially (a record cut mid-frame);
+//! - **bit rot** — `corrupt_last_record` flips one bit in the surviving
+//!   tail, so a length/checksum frame must catch it;
+//! - **write errors** — `write_error_after_bytes` marks the point at
+//!   which appends start failing `ENOSPC`-style, for harnesses driving
+//!   an injectable writer rather than mutilating a finished log.
+//!
+//! Like [`crate::gen::AdversaryGen`], plans are sampled from a seed so
+//! every run is replayable from `(seed, log_len)` alone, and a pinned
+//! seed sweep is a deterministic CI job.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// One sampled storage fault, applied to a finished byte log (or, for
+/// `write_error_after_bytes`, consulted live by an injectable writer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Bytes that survive the crash; everything past this offset is
+    /// discarded. `None` leaves the log whole.
+    pub crash_after_bytes: Option<u64>,
+    /// Bytes additionally torn off the surviving tail (a partially
+    /// flushed final record).
+    pub torn_tail_bytes: u64,
+    /// Flip one bit in the last surviving byte, simulating rot that a
+    /// checksum must reject.
+    pub corrupt_last_record: bool,
+    /// Offset past which an injectable writer should fail appends with
+    /// an out-of-space error. `None` writes never fail.
+    pub write_error_after_bytes: Option<u64>,
+}
+
+impl FaultPlan {
+    /// The do-nothing plan: the log survives untouched.
+    pub const NONE: FaultPlan = FaultPlan {
+        crash_after_bytes: None,
+        torn_tail_bytes: 0,
+        corrupt_last_record: false,
+        write_error_after_bytes: None,
+    };
+
+    /// A crash that preserves exactly `bytes` bytes of log.
+    pub fn crash_at(bytes: u64) -> FaultPlan {
+        FaultPlan {
+            crash_after_bytes: Some(bytes),
+            ..FaultPlan::NONE
+        }
+    }
+
+    /// Samples one plan for a log of `log_len` bytes. Deterministic per
+    /// seed: each seed pins a crash point somewhere in the log, plus an
+    /// independent chance of a torn tail and of bit rot.
+    pub fn sample(seed: u64, log_len: u64) -> FaultPlan {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let crash = rng.random_below(log_len as usize + 1) as u64;
+        let torn = if rng.random_bool(0.5) {
+            rng.random_below(16) as u64
+        } else {
+            0
+        };
+        FaultPlan {
+            crash_after_bytes: Some(crash),
+            torn_tail_bytes: torn,
+            corrupt_last_record: rng.random_bool(0.25),
+            write_error_after_bytes: None,
+        }
+    }
+
+    /// Applies the at-rest faults to a finished log, in the order the
+    /// hardware would: crash truncation, then the torn tail, then rot on
+    /// whatever byte ended up last.
+    pub fn mutilate(&self, bytes: &mut Vec<u8>) {
+        if let Some(crash) = self.crash_after_bytes {
+            bytes.truncate(crash.min(bytes.len() as u64) as usize);
+        }
+        let keep = bytes.len().saturating_sub(self.torn_tail_bytes as usize);
+        bytes.truncate(keep);
+        if self.corrupt_last_record {
+            if let Some(last) = bytes.last_mut() {
+                *last ^= 0x40;
+            }
+        }
+    }
+
+    /// Whether an append that would end at `offset` bytes should fail
+    /// with a write error under this plan.
+    pub fn fails_at(&self, offset: u64) -> bool {
+        self.write_error_after_bytes
+            .is_some_and(|limit| offset > limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        for seed in 0..32 {
+            assert_eq!(FaultPlan::sample(seed, 1000), FaultPlan::sample(seed, 1000));
+        }
+    }
+
+    #[test]
+    fn mutilation_is_shrinking_and_bounded() {
+        for seed in 0..64u64 {
+            let original: Vec<u8> = (0..200u8).collect();
+            let mut log = original.clone();
+            let plan = FaultPlan::sample(seed, log.len() as u64);
+            plan.mutilate(&mut log);
+            assert!(log.len() <= original.len(), "seed {seed}");
+            // Every byte but possibly the last is an untouched prefix.
+            if !log.is_empty() {
+                let body = &log[..log.len() - 1];
+                assert_eq!(body, &original[..body.len()], "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn none_plan_is_identity() {
+        let mut log = vec![1u8, 2, 3];
+        FaultPlan::NONE.mutilate(&mut log);
+        assert_eq!(log, vec![1, 2, 3]);
+        assert!(!FaultPlan::NONE.fails_at(u64::MAX));
+    }
+
+    #[test]
+    fn write_errors_trip_past_the_limit() {
+        let plan = FaultPlan {
+            write_error_after_bytes: Some(100),
+            ..FaultPlan::NONE
+        };
+        assert!(!plan.fails_at(100));
+        assert!(plan.fails_at(101));
+    }
+}

@@ -30,6 +30,7 @@
 //! same reproducer, byte for byte.
 
 pub mod artifact;
+pub mod fault;
 pub mod gen;
 pub mod harness;
 pub mod props;
@@ -37,6 +38,7 @@ pub mod record;
 pub mod shrink;
 
 pub use artifact::{GraphSpec, Reproducer, REPRODUCER_SCHEMA};
+pub use fault::FaultPlan;
 pub use gen::AdversaryGen;
 pub use harness::{replay, run_chaos, ChaosConfig, ChaosReport};
 pub use props::Violation;

@@ -222,6 +222,33 @@ pub enum TraceEvent {
         /// Wall-clock nanoseconds from dequeue to response.
         nanos: u64,
     },
+    /// The daemon appended one record to the write-ahead verdict log
+    /// (`minobs/wal/v1`). `round` is always 0.
+    WalAppend {
+        /// Record operation: `"horizon"`, `"theorem"`, or `"snapshot"`.
+        op: &'static str,
+        /// Canonical cache key of the verdict persisted.
+        key: String,
+        /// Encoded record size on disk, framing included.
+        bytes: u64,
+    },
+    /// The daemon replayed the write-ahead verdict log at startup.
+    /// `round` is always 0.
+    WalReplay {
+        /// Records applied to the cache.
+        records: u64,
+        /// Bytes of valid log consumed.
+        bytes: u64,
+        /// Whether a torn or checksum-failing tail was dropped.
+        dropped_tail: bool,
+    },
+    /// The write-ahead log failed and the daemon degraded to memory-only
+    /// persistence; mirrored by the `svc.wal_degraded` gauge. `round` is
+    /// always 0.
+    WalDegraded {
+        /// The I/O error that forced degradation.
+        error: String,
+    },
 }
 
 impl TraceEvent {
@@ -243,6 +270,9 @@ impl TraceEvent {
             TraceEvent::RunEnd { .. } => "run_end",
             TraceEvent::SvcRequest { .. } => "svc_request",
             TraceEvent::SvcResponse { .. } => "svc_response",
+            TraceEvent::WalAppend { .. } => "wal_append",
+            TraceEvent::WalReplay { .. } => "wal_replay",
+            TraceEvent::WalDegraded { .. } => "wal_degraded",
         }
     }
 
@@ -252,7 +282,10 @@ impl TraceEvent {
         match *self {
             TraceEvent::RunStart { .. }
             | TraceEvent::SvcRequest { .. }
-            | TraceEvent::SvcResponse { .. } => 0,
+            | TraceEvent::SvcResponse { .. }
+            | TraceEvent::WalAppend { .. }
+            | TraceEvent::WalReplay { .. }
+            | TraceEvent::WalDegraded { .. } => 0,
             TraceEvent::Message { round, .. }
             | TraceEvent::Decision { round, .. }
             | TraceEvent::RoundEnd { round, .. }
@@ -383,6 +416,23 @@ impl TraceEvent {
                 map.insert("cache".to_string(), Value::from(*cache));
                 map.insert("nanos".to_string(), Value::from(*nanos));
             }
+            TraceEvent::WalAppend { op, key, bytes } => {
+                map.insert("op".to_string(), Value::from(*op));
+                map.insert("key".to_string(), Value::from(key.as_str()));
+                map.insert("bytes".to_string(), Value::from(*bytes));
+            }
+            TraceEvent::WalReplay {
+                records,
+                bytes,
+                dropped_tail,
+            } => {
+                map.insert("records".to_string(), Value::from(*records));
+                map.insert("bytes".to_string(), Value::from(*bytes));
+                map.insert("dropped_tail".to_string(), Value::from(*dropped_tail));
+            }
+            TraceEvent::WalDegraded { error } => {
+                map.insert("error".to_string(), Value::from(error.as_str()));
+            }
         }
         Value::Object(map)
     }
@@ -489,6 +539,19 @@ mod tests {
                 ok: true,
                 cache: "subsumed",
                 nanos: 42,
+            },
+            TraceEvent::WalAppend {
+                op: "horizon",
+                key: "classic:s1|gamma".to_string(),
+                bytes: 64,
+            },
+            TraceEvent::WalReplay {
+                records: 12,
+                bytes: 800,
+                dropped_tail: true,
+            },
+            TraceEvent::WalDegraded {
+                error: "no space left on device".to_string(),
             },
         ];
         for event in &events {

@@ -411,6 +411,10 @@ pub struct MetricsRecorder {
     svc_responses_ok: Arc<Counter>,
     svc_responses_err: Arc<Counter>,
     svc_request_latency: Arc<Histogram>,
+    wal_appends: Arc<Counter>,
+    wal_append_bytes: Arc<Counter>,
+    wal_replayed_records: Arc<Counter>,
+    wal_degraded: Arc<Gauge>,
     /// Lazily created per-span-name and per-method histograms, cached so
     /// the hot path resolves each name through the registry lock once.
     span_latency: BTreeMap<String, Arc<Histogram>>,
@@ -443,6 +447,10 @@ impl MetricsRecorder {
             svc_responses_ok: registry.counter("svc.responses_ok"),
             svc_responses_err: registry.counter("svc.responses_err"),
             svc_request_latency: registry.histogram("svc.request_latency_ns", &latency),
+            wal_appends: registry.counter("svc.wal_appends"),
+            wal_append_bytes: registry.counter("svc.wal_append_bytes"),
+            wal_replayed_records: registry.counter("svc.wal_replayed_records"),
+            wal_degraded: registry.gauge("svc.wal_degraded"),
             span_latency: BTreeMap::new(),
             method_latency: BTreeMap::new(),
             latency_bounds: latency,
@@ -550,6 +558,19 @@ impl Recorder for MetricsRecorder {
             self.svc_request_latency.observe(nanos);
             self.method_histogram(method).observe(nanos);
         }
+    }
+
+    fn on_wal_append(&mut self, _op: &'static str, _key: &str, bytes: u64) {
+        self.wal_appends.inc();
+        self.wal_append_bytes.add(bytes);
+    }
+
+    fn on_wal_replay(&mut self, records: u64, _bytes: u64, _dropped_tail: bool) {
+        self.wal_replayed_records.add(records);
+    }
+
+    fn on_wal_degraded(&mut self, _error: &str) {
+        self.wal_degraded.set(1);
     }
 }
 

@@ -186,6 +186,34 @@ pub trait Recorder {
             nanos,
         });
     }
+
+    /// The daemon appended a record to the write-ahead verdict log.
+    #[inline]
+    fn on_wal_append(&mut self, op: &'static str, key: &str, bytes: u64) {
+        self.record(TraceEvent::WalAppend {
+            op,
+            key: key.to_string(),
+            bytes,
+        });
+    }
+
+    /// The daemon replayed the write-ahead verdict log at startup.
+    #[inline]
+    fn on_wal_replay(&mut self, records: u64, bytes: u64, dropped_tail: bool) {
+        self.record(TraceEvent::WalReplay {
+            records,
+            bytes,
+            dropped_tail,
+        });
+    }
+
+    /// The write-ahead log failed; the daemon is memory-only from here.
+    #[inline]
+    fn on_wal_degraded(&mut self, error: &str) {
+        self.record(TraceEvent::WalDegraded {
+            error: error.to_string(),
+        });
+    }
 }
 
 /// A `&mut` reference forwards to the referent, overridden hooks included,
@@ -258,6 +286,18 @@ impl<R: Recorder + ?Sized> Recorder for &mut R {
     #[inline]
     fn on_svc_response(&mut self, seq: u64, method: &str, ok: bool, cache: &'static str, nanos: u64) {
         (**self).on_svc_response(seq, method, ok, cache, nanos);
+    }
+    #[inline]
+    fn on_wal_append(&mut self, op: &'static str, key: &str, bytes: u64) {
+        (**self).on_wal_append(op, key, bytes);
+    }
+    #[inline]
+    fn on_wal_replay(&mut self, records: u64, bytes: u64, dropped_tail: bool) {
+        (**self).on_wal_replay(records, bytes, dropped_tail);
+    }
+    #[inline]
+    fn on_wal_degraded(&mut self, error: &str) {
+        (**self).on_wal_degraded(error);
     }
 }
 
@@ -341,6 +381,13 @@ pub fn replay_event<R: Recorder + ?Sized>(recorder: &mut R, event: &TraceEvent) 
             cache,
             nanos,
         } => recorder.on_svc_response(*seq, method, *ok, cache, *nanos),
+        TraceEvent::WalAppend { op, key, bytes } => recorder.on_wal_append(op, key, *bytes),
+        TraceEvent::WalReplay {
+            records,
+            bytes,
+            dropped_tail,
+        } => recorder.on_wal_replay(*records, *bytes, *dropped_tail),
+        TraceEvent::WalDegraded { error } => recorder.on_wal_degraded(error),
     }
 }
 
@@ -413,6 +460,11 @@ impl MemoryRecorder {
             TraceEvent::RunEnd { rounds, .. } => (rounds, 7, 0, 0),
             TraceEvent::SvcRequest { seq, .. } => (0, 10, seq as usize, 0),
             TraceEvent::SvcResponse { seq, .. } => (0, 10, seq as usize, 1),
+            // WAL events keep emission order: appends are sequenced by
+            // the log itself, replay/degraded are singular lifecycle marks.
+            TraceEvent::WalAppend { .. }
+            | TraceEvent::WalReplay { .. }
+            | TraceEvent::WalDegraded { .. } => (0, 11, 0, 0),
         });
         events
     }
@@ -531,6 +583,18 @@ impl<A: Recorder, B: Recorder> Recorder for TeeRecorder<A, B> {
     fn on_svc_response(&mut self, seq: u64, method: &str, ok: bool, cache: &'static str, nanos: u64) {
         self.first.on_svc_response(seq, method, ok, cache, nanos);
         self.second.on_svc_response(seq, method, ok, cache, nanos);
+    }
+    fn on_wal_append(&mut self, op: &'static str, key: &str, bytes: u64) {
+        self.first.on_wal_append(op, key, bytes);
+        self.second.on_wal_append(op, key, bytes);
+    }
+    fn on_wal_replay(&mut self, records: u64, bytes: u64, dropped_tail: bool) {
+        self.first.on_wal_replay(records, bytes, dropped_tail);
+        self.second.on_wal_replay(records, bytes, dropped_tail);
+    }
+    fn on_wal_degraded(&mut self, error: &str) {
+        self.first.on_wal_degraded(error);
+        self.second.on_wal_degraded(error);
     }
 }
 

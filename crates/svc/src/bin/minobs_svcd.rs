@@ -23,6 +23,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    match server.state().wal_replay_report() {
+        Some(report) if server.state().wal_active() => eprintln!(
+            "minobs-svcd: wal replayed {} records ({} bytes{})",
+            report.records,
+            report.bytes,
+            if report.dropped_tail { ", torn tail dropped" } else { "" },
+        ),
+        Some(_) | None if std::env::var("MINOBS_SVC_WAL").is_ok_and(|p| !p.trim().is_empty()) => {
+            eprintln!("minobs-svcd: wal unavailable, running memory-only (degraded)");
+        }
+        _ => {}
+    }
     // Flush so harnesses polling stdout see the address immediately.
     println!("minobs-svcd listening on {}", server.local_addr());
     let _ = std::io::stdout().flush();

@@ -36,7 +36,7 @@
 //! backlog, cache hit ratio, and per-method latency percentiles.
 
 use minobs_obs::Histogram;
-use minobs_svc::client::SvcClient;
+use minobs_svc::client::{RetryPolicy, SvcClient, SvcError};
 use minobs_svc::loadgen::{
     find_knee, parse_mix, run_open_loop, KneeCriteria, MixEntry, OpenLoopConfig, OpenLoopSummary,
     SweepSpec, TrialPoint,
@@ -48,7 +48,7 @@ use std::time::{Duration, Instant};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  svc call <method> [params-json] [--addr HOST:PORT]\n  svc bench [--addr HOST:PORT] [--threads N] [--requests M] [--method NAME] [--params JSON]\n  svc bench --open-loop --freq N [--duration S] [--threads N] [--mix m1=w1,m2=w2] [--inflight-cap N] [--tick S] [--out PATH] [--id NAME]\n  svc bench --sweep lo:hi:steps [--duration S] [--p99-bound-ms X] [--expect-knee] [open-loop flags]\n  svc top [--addr HOST:PORT] [--interval SECS] [--iterations N] [--no-clear]"
+        "usage:\n  svc call <method> [params-json] [--addr HOST:PORT] [--timeout S] [--connect-timeout S] [--retries N]\n  svc bench [--addr HOST:PORT] [--threads N] [--requests M] [--method NAME] [--params JSON]\n  svc bench --open-loop --freq N [--duration S] [--threads N] [--mix m1=w1,m2=w2] [--inflight-cap N] [--tick S] [--out PATH] [--id NAME]\n  svc bench --sweep lo:hi:steps [--duration S] [--p99-bound-ms X] [--expect-knee] [open-loop flags]\n  svc top [--addr HOST:PORT] [--interval SECS] [--iterations N] [--no-clear]"
     );
     ExitCode::FAILURE
 }
@@ -78,11 +78,28 @@ fn call(args: &[String]) -> ExitCode {
     let mut addr = env_addr();
     let mut method = None;
     let mut params = Value::Null;
+    // Bounded by default: a hung or unreachable daemon fails the call
+    // instead of hanging the shell. `--timeout 0` restores block-forever.
+    let mut timeout_s = 30.0f64;
+    let mut connect_timeout_s = 5.0f64;
+    let mut retries = 0u32;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--addr" => match it.next() {
                 Some(a) => addr = Some(a.clone()),
+                None => return usage(),
+            },
+            "--timeout" => match it.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(s) if s >= 0.0 && s.is_finite() => timeout_s = s,
+                _ => return usage(),
+            },
+            "--connect-timeout" => match it.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(s) if s >= 0.0 && s.is_finite() => connect_timeout_s = s,
+                _ => return usage(),
+            },
+            "--retries" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => retries = n,
                 None => return usage(),
             },
             text if method.is_none() => method = Some(text.to_string()),
@@ -102,14 +119,24 @@ fn call(args: &[String]) -> ExitCode {
         eprintln!("svc call: no address (pass --addr or set MINOBS_SVC_ADDR)");
         return ExitCode::FAILURE;
     };
-    let mut client = match SvcClient::connect(addr.as_str()) {
+    let connect_timeout = (connect_timeout_s > 0.0).then(|| Duration::from_secs_f64(connect_timeout_s));
+    let mut client = match SvcClient::connect_with_timeout(addr.as_str(), connect_timeout) {
         Ok(client) => client,
         Err(err) => {
             eprintln!("svc call: cannot connect to {addr}: {err}");
             return ExitCode::FAILURE;
         }
     };
-    match client.call(&method, params) {
+    let timeout = (timeout_s > 0.0).then(|| Duration::from_secs_f64(timeout_s));
+    if let Err(err) = client.set_timeout(timeout) {
+        eprintln!("svc call: cannot set timeout: {err}");
+        return ExitCode::FAILURE;
+    }
+    let policy = RetryPolicy {
+        budget: retries,
+        ..RetryPolicy::default()
+    };
+    match client.call_with_retry(&method, params, &policy) {
         Ok(result) => {
             let text = serde_json::to_string_pretty(&result)
                 .unwrap_or_else(|err| format!("<unprintable result: {err:?}>"));
@@ -213,8 +240,11 @@ fn cache_hit_ratio(stats: &Value) -> Value {
 }
 
 fn fetch_stats(addr: &str) -> Option<Value> {
-    SvcClient::connect(addr)
-        .and_then(|mut c| c.call("stats", Value::Null))
+    SvcClient::connect_with_timeout(addr, Some(Duration::from_secs(5)))
+        .and_then(|mut c| {
+            c.set_timeout(Some(Duration::from_secs(30)))?;
+            c.call("stats", Value::Null)
+        })
         .map_err(|err| eprintln!("svc bench: stats snapshot failed: {err}"))
         .ok()
 }
@@ -369,6 +399,7 @@ fn summary_fields(map: &mut Map, summary: &OpenLoopSummary) {
     map.insert("completed", Value::from(summary.completed));
     map.insert("errors", Value::from(summary.errors));
     map.insert("dropped_by_cap", Value::from(summary.dropped_by_cap));
+    map.insert("busy", Value::from(summary.busy));
     map.insert("elapsed_s", Value::from(summary.elapsed_s));
     map.insert(
         "latency_ns",
@@ -378,13 +409,14 @@ fn summary_fields(map: &mut Map, summary: &OpenLoopSummary) {
 
 fn print_summary(summary: &OpenLoopSummary) {
     println!(
-        "  offered {:.1}/s → achieved {:.1}/s ({} sent, {} completed, {} errors, {} dropped_by_cap) in {:.2}s",
+        "  offered {:.1}/s → achieved {:.1}/s ({} sent, {} completed, {} errors, {} dropped_by_cap, {} busy) in {:.2}s",
         summary.offered_qps,
         summary.achieved_qps,
         summary.sent,
         summary.completed,
         summary.errors,
         summary.dropped_by_cap,
+        summary.busy,
         summary.elapsed_s,
     );
     print_latency("deadline→response", &summary.latency, summary.max_latency_ns);
@@ -574,6 +606,7 @@ struct ThreadOutcome {
     latency: Histogram,
     max_ns: u64,
     errors: usize,
+    busy: usize,
 }
 
 fn bench_closed_loop(opts: &BenchOpts) -> ExitCode {
@@ -624,6 +657,7 @@ fn bench_closed_loop(opts: &BenchOpts) -> ExitCode {
     let latency = Histogram::new(&Histogram::latency_bounds());
     let mut max_ns = 0u64;
     let mut errors = 0usize;
+    let mut busy = 0usize;
     for outcome in &outcomes {
         if let Err(err) = latency.merge_from(&outcome.latency) {
             eprintln!("svc bench: histogram merge failed: {err}");
@@ -631,13 +665,14 @@ fn bench_closed_loop(opts: &BenchOpts) -> ExitCode {
         }
         max_ns = max_ns.max(outcome.max_ns);
         errors += outcome.errors;
+        busy += outcome.busy;
     }
     let ok = latency.count();
     let throughput = ok as f64 / elapsed.as_secs_f64().max(1e-9);
 
     println!("svc bench: {threads} threads × {requests} requests of {method} against {addr}");
     println!(
-        "  {ok} ok, {errors} err in {:.3}s → {throughput:.1} req/s",
+        "  {ok} ok, {errors} err, {busy} busy in {:.3}s → {throughput:.1} req/s",
         elapsed.as_secs_f64()
     );
     if let Some(warm_mean) = latency.sum().checked_div(ok) {
@@ -658,6 +693,7 @@ fn bench_closed_loop(opts: &BenchOpts) -> ExitCode {
     body.insert("sent", Value::from(ok + errors as u64));
     body.insert("completed", Value::from(ok));
     body.insert("errors", Value::from(errors));
+    body.insert("busy", Value::from(busy));
     body.insert("elapsed_s", Value::from(elapsed.as_secs_f64()));
     body.insert("cold_first_request_ns", Value::from(cold_ns));
     body.insert("latency_ns", latency_block(&latency, max_ns));
@@ -827,8 +863,9 @@ fn run_thread(addr: &str, method: &str, params: &Value, requests: usize) -> Thre
         latency: Histogram::new(&Histogram::latency_bounds()),
         max_ns: 0,
         errors: 0,
+        busy: 0,
     };
-    let mut client = match SvcClient::connect(addr) {
+    let mut client = match SvcClient::connect_with_timeout(addr, Some(Duration::from_secs(5))) {
         Ok(client) => client,
         Err(err) => {
             eprintln!("svc bench: connect failed: {err}");
@@ -843,6 +880,12 @@ fn run_thread(addr: &str, method: &str, params: &Value, requests: usize) -> Thre
                 let nanos = start.elapsed().as_nanos() as u64;
                 outcome.latency.observe(nanos);
                 outcome.max_ns = outcome.max_ns.max(nanos);
+            }
+            Err(SvcError::Busy(_)) => {
+                // Back-pressure, not failure: the daemon's connection cap
+                // also hangs up, so reconnect before continuing.
+                outcome.busy += 1;
+                let _ = client.reconnect();
             }
             Err(err) => {
                 eprintln!("svc bench: request failed: {err}");

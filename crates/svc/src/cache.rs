@@ -106,6 +106,27 @@ impl VerdictCache {
             .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len())
             .sum()
     }
+
+    /// Every cached entry, sorted by key: the WAL compactor's source of
+    /// truth, and the comparison form for restart-consistency tests.
+    /// Shards are locked one at a time, so concurrent writers may land
+    /// in or out of the snapshot — fine for both uses, since verdicts
+    /// are immutable and only ever *added*.
+    pub fn snapshot(&self) -> Vec<(String, HorizonVerdicts, Option<Value>)> {
+        let mut entries: Vec<(String, HorizonVerdicts, Option<Value>)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .iter()
+                    .map(|(key, entry)| (key.clone(), entry.verdicts, entry.theorem.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries
+    }
 }
 
 #[cfg(test)]

@@ -3,18 +3,29 @@
 //! One [`SvcClient`] owns one TCP connection; calls are synchronous and
 //! the daemon answers a connection's requests in order, so a client is
 //! safe to use from one thread at a time (clone-per-thread for load).
+//!
+//! Every daemon method is idempotent — verdicts are immutable theorems,
+//! so asking twice cannot change an answer — which makes blind retry
+//! safe. [`SvcClient::call_with_retry`] exploits that: transport
+//! failures and `busy` rejections reconnect and retry under exponential
+//! backoff with deterministic jitter, capped by a [`RetryPolicy`]
+//! budget. Definitive RPC errors (`bad_params`, `unsupported`, …) are
+//! never retried.
 
 use crate::wire::{self, FrameError, RPC_VERSION};
 use serde_json::Value;
 use std::io::{self, BufReader, BufWriter, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 /// Why a call failed.
 #[derive(Debug)]
 pub enum SvcError {
-    /// Transport failure.
+    /// Transport failure (including a connection closed mid-response).
     Io(io::Error),
+    /// The daemon refused the connection at its concurrency cap; safe to
+    /// retry after a backoff.
+    Busy(String),
     /// The daemon answered with something that is not a valid response.
     Protocol(String),
     /// The daemon answered with a method-level error.
@@ -26,10 +37,19 @@ pub enum SvcError {
     },
 }
 
+impl SvcError {
+    /// Whether retrying the same call can help: transport failures and
+    /// `busy` rejections are transient, everything else is definitive.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, SvcError::Io(_) | SvcError::Busy(_))
+    }
+}
+
 impl std::fmt::Display for SvcError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SvcError::Io(e) => write!(f, "i/o error: {e}"),
+            SvcError::Busy(m) => write!(f, "daemon busy: {m}"),
             SvcError::Protocol(m) => write!(f, "protocol error: {m}"),
             SvcError::Rpc { code, message } => write!(f, "rpc error [{code}]: {message}"),
         }
@@ -51,29 +71,118 @@ impl From<FrameError> for SvcError {
     }
 }
 
+/// How [`SvcClient::call_with_retry`] behaves between attempts.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt; 0 behaves like [`SvcClient::call`].
+    pub budget: u32,
+    /// Backoff before the first retry; doubles each retry after.
+    pub base: Duration,
+    /// Ceiling on any single backoff sleep.
+    pub cap: Duration,
+    /// Jitter seed; the same seed and call sequence sleeps the same
+    /// schedule, keeping retry tests and recorded runs deterministic.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            budget: 5,
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(2),
+            seed: 0x6d69_6e6f_6273, // "minobs"
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `attempt` (0-based) of the call
+    /// whose first request id was `id`: exponential from `base`, capped
+    /// at `cap`, jittered into the upper half of the window so
+    /// simultaneous clients at the same attempt spread out.
+    pub fn backoff(&self, id: u64, attempt: u32) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+            .min(self.cap);
+        let nanos = exp.as_nanos() as u64;
+        if nanos == 0 {
+            return Duration::ZERO;
+        }
+        // xorshift64 over (seed, id, attempt): deterministic jitter with
+        // no rand dependency.
+        let mut x = self.seed ^ id.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ u64::from(attempt) << 32;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        Duration::from_nanos(nanos / 2 + x % (nanos / 2 + 1))
+    }
+}
+
 /// A connected client.
 pub struct SvcClient {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     next_id: u64,
+    /// The resolved peer, kept for reconnect-on-retry.
+    addr: SocketAddr,
+    connect_timeout: Option<Duration>,
+    read_timeout: Option<Duration>,
 }
 
 impl SvcClient {
-    /// Connects to a daemon.
+    /// Connects to a daemon, blocking indefinitely. Prefer
+    /// [`SvcClient::connect_with_timeout`] anywhere a hung peer should
+    /// not hang the caller.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<SvcClient, SvcError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        let reader = BufReader::new(stream.try_clone()?);
-        Ok(SvcClient {
-            reader,
-            writer: BufWriter::new(stream),
-            next_id: 1,
-        })
+        SvcClient::connect_with_timeout(addr, None)
     }
 
-    /// Sets a read timeout for responses; `None` blocks forever.
+    /// Connects to a daemon, failing any single address attempt after
+    /// `timeout`. Addresses the name resolves to are tried in order.
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Option<Duration>,
+    ) -> Result<SvcClient, SvcError> {
+        let mut last: Option<io::Error> = None;
+        for resolved in addr.to_socket_addrs()? {
+            match open_stream(resolved, timeout) {
+                Ok(stream) => {
+                    let reader = BufReader::new(stream.try_clone()?);
+                    return Ok(SvcClient {
+                        reader,
+                        writer: BufWriter::new(stream),
+                        next_id: 1,
+                        addr: resolved,
+                        connect_timeout: timeout,
+                        read_timeout: None,
+                    });
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(SvcError::Io(last.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        })))
+    }
+
+    /// Sets a read timeout for responses; `None` blocks forever. The
+    /// timeout survives reconnects.
     pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), SvcError> {
         self.reader.get_ref().set_read_timeout(timeout)?;
+        self.read_timeout = timeout;
+        Ok(())
+    }
+
+    /// Drops the connection and dials the same peer again, reapplying
+    /// timeouts. Request ids keep counting up, so a response straggling
+    /// in from before the reconnect can never match a new request.
+    pub fn reconnect(&mut self) -> Result<(), SvcError> {
+        let stream = open_stream(self.addr, self.connect_timeout)?;
+        stream.set_read_timeout(self.read_timeout)?;
+        self.reader = BufReader::new(stream.try_clone()?);
+        self.writer = BufWriter::new(stream);
         Ok(())
     }
 
@@ -83,10 +192,52 @@ impl SvcClient {
         self.next_id += 1;
         wire::write_frame(&mut self.writer, &wire::request(id, method, params))?;
         self.writer.flush()?;
-        let response = wire::read_frame(&mut self.reader)?
-            .ok_or_else(|| SvcError::Protocol("connection closed before a response".into()))?;
+        let response = wire::read_frame(&mut self.reader)?.ok_or_else(|| {
+            SvcError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before a response",
+            ))
+        })?;
         decode_response(&response, id)
     }
+
+    /// Calls `method`, retrying transient failures (transport errors,
+    /// `busy` rejections) under `policy`: reconnect, back off
+    /// exponentially with jitter, try again, up to `policy.budget`
+    /// retries. Safe because every daemon method is idempotent.
+    pub fn call_with_retry(
+        &mut self,
+        method: &str,
+        params: Value,
+        policy: &RetryPolicy,
+    ) -> Result<Value, SvcError> {
+        let first_id = self.next_id;
+        let mut attempt = 0u32;
+        loop {
+            match self.call(method, params.clone()) {
+                Ok(value) => return Ok(value),
+                Err(e) if e.is_retryable() && attempt < policy.budget => {
+                    std::thread::sleep(policy.backoff(first_id, attempt));
+                    attempt += 1;
+                    // A failed attempt leaves the connection in an
+                    // unknown state (half-written frame, unread busy
+                    // hangup); always start the retry on a fresh one.
+                    // A failed reconnect just burns this attempt.
+                    let _ = self.reconnect();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+fn open_stream(addr: SocketAddr, timeout: Option<Duration>) -> io::Result<TcpStream> {
+    let stream = match timeout {
+        Some(t) => TcpStream::connect_timeout(&addr, t)?,
+        None => TcpStream::connect(addr)?,
+    };
+    stream.set_nodelay(true).ok();
+    Ok(stream)
 }
 
 fn decode_response(response: &Value, id: u64) -> Result<Value, SvcError> {
@@ -95,6 +246,18 @@ fn decode_response(response: &Value, id: u64) -> Result<Value, SvcError> {
         return Err(SvcError::Protocol(format!(
             "unexpected rpc version {rpc:?}"
         )));
+    }
+    // The acceptor's at-cap rejection is not a reply to any request —
+    // it carries id 0 — so busy detection must run before the id check.
+    if let Some(error) = response.get("error") {
+        if error.get("code").and_then(Value::as_str) == Some("busy") {
+            let message = error
+                .get("message")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string();
+            return Err(SvcError::Busy(message));
+        }
     }
     let got = response.get("id").and_then(Value::as_u64);
     if got != Some(id) {
@@ -125,7 +288,8 @@ fn decode_response(response: &Value, id: u64) -> Result<Value, SvcError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::wire::{err_response, ok_response};
+    use crate::wire::{err_response, ok_response, read_frame, write_frame};
+    use std::net::TcpListener;
 
     #[test]
     fn responses_decode() {
@@ -143,5 +307,104 @@ mod tests {
             }
             other => panic!("expected rpc error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn busy_decodes_despite_the_unmatched_id() {
+        let busy = err_response(0, "busy", "connection limit reached");
+        match decode_response(&busy, 41) {
+            Err(SvcError::Busy(message)) => assert_eq!(message, "connection limit reached"),
+            other => panic!("expected busy, got {other:?}"),
+        }
+        assert!(SvcError::Busy(String::new()).is_retryable());
+        assert!(SvcError::Io(io::Error::other("x")).is_retryable());
+        assert!(!SvcError::Rpc {
+            code: "bad_params".into(),
+            message: String::new()
+        }
+        .is_retryable());
+    }
+
+    #[test]
+    fn backoff_is_deterministic_exponential_and_capped() {
+        let policy = RetryPolicy {
+            budget: 8,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(100),
+            seed: 7,
+        };
+        for attempt in 0..8 {
+            let a = policy.backoff(3, attempt);
+            assert_eq!(a, policy.backoff(3, attempt), "jitter must be deterministic");
+            let exp = Duration::from_millis(10)
+                .saturating_mul(1 << attempt)
+                .min(Duration::from_millis(100));
+            assert!(a >= exp / 2 && a <= exp, "attempt {attempt}: {a:?} vs {exp:?}");
+        }
+        // Different ids jitter differently (with overwhelming likelihood).
+        assert_ne!(policy.backoff(3, 4), policy.backoff(4, 4));
+    }
+
+    #[test]
+    fn retry_survives_a_busy_hangup_then_succeeds() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            // First connection: at-cap rejection, exactly as the
+            // acceptor sends it — id 0, then hang up.
+            let (stream, _) = listener.accept().unwrap();
+            let mut writer = &stream;
+            write_frame(&mut writer, &err_response(0, "busy", "connection limit reached"))
+                .unwrap();
+            drop(stream);
+            // Second connection: answer properly.
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = &stream;
+            let request = read_frame(&mut reader).unwrap().unwrap();
+            let id = request.get("id").and_then(Value::as_u64).unwrap();
+            let mut writer = &stream;
+            write_frame(&mut writer, &ok_response(id, Value::from(42u64))).unwrap();
+        });
+
+        let mut client =
+            SvcClient::connect_with_timeout(addr, Some(Duration::from_secs(5))).unwrap();
+        client.set_timeout(Some(Duration::from_secs(5))).unwrap();
+        let policy = RetryPolicy {
+            budget: 3,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(4),
+            seed: 1,
+        };
+        let value = client.call_with_retry("stats", Value::Null, &policy).unwrap();
+        assert_eq!(value, Value::from(42u64));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn exhausted_budget_returns_the_last_error() {
+        // A listener that always rejects busy.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            for _ in 0..3 {
+                let (stream, _) = listener.accept().unwrap();
+                let mut writer = &stream;
+                let _ = write_frame(&mut writer, &err_response(0, "busy", "still full"));
+            }
+        });
+        let mut client =
+            SvcClient::connect_with_timeout(addr, Some(Duration::from_secs(5))).unwrap();
+        client.set_timeout(Some(Duration::from_secs(5))).unwrap();
+        let policy = RetryPolicy {
+            budget: 2,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(2),
+            seed: 1,
+        };
+        match client.call_with_retry("stats", Value::Null, &policy) {
+            Err(SvcError::Busy(_)) | Err(SvcError::Io(_)) => {}
+            other => panic!("expected exhausted retries, got {other:?}"),
+        }
+        server.join().unwrap();
     }
 }

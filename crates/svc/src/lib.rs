@@ -25,9 +25,10 @@ pub mod loadgen;
 pub mod methods;
 pub mod server;
 pub mod spec;
+pub mod wal;
 pub mod wire;
 
 pub use cache::VerdictCache;
-pub use client::{SvcClient, SvcError};
+pub use client::{RetryPolicy, SvcClient, SvcError};
 pub use server::{serve, Limits, Server, ServerState, SvcConfig};
 pub use spec::ParsedScheme;

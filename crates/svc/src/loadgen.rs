@@ -220,16 +220,20 @@ pub struct LoadCounters {
     pub errors: AtomicU64,
     /// Requests refused because the in-flight cap was reached.
     pub dropped_by_cap: AtomicU64,
+    /// `busy` rejections from the daemon's connection cap — back-pressure
+    /// the daemon *chose* to apply, reported apart from real errors.
+    pub busy: AtomicU64,
 }
 
 impl LoadCounters {
-    /// Snapshot of (sent, completed, errors, dropped_by_cap).
-    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+    /// Snapshot of (sent, completed, errors, dropped_by_cap, busy).
+    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
         (
             self.sent.load(Ordering::Relaxed),
             self.completed.load(Ordering::Relaxed),
             self.errors.load(Ordering::Relaxed),
             self.dropped_by_cap.load(Ordering::Relaxed),
+            self.busy.load(Ordering::Relaxed),
         )
     }
 }
@@ -347,6 +351,8 @@ pub struct OpenLoopSummary {
     pub errors: u64,
     /// Requests refused by the in-flight cap.
     pub dropped_by_cap: u64,
+    /// `busy` rejections from the daemon's connection cap.
+    pub busy: u64,
     /// Total wall clock including drain, seconds.
     pub elapsed_s: f64,
     /// Deadline→response latency, merged across threads.
@@ -442,7 +448,24 @@ pub fn run_open_loop(addr: &str, config: &OpenLoopConfig) -> Result<OpenLoopSumm
                 let mut reader = BufReader::new(read_half);
                 while let Ok((id, deadline_ns, _method_idx)) = rx.recv() {
                     let response = match wire::read_frame(&mut reader) {
-                        Ok(Some(v)) => v,
+                        Ok(Some(v)) => {
+                            // The acceptor's at-cap rejection carries id 0
+                            // and precedes a hangup: count it as back-
+                            // pressure, then drain the queue as lost.
+                            let busy = v
+                                .get("error")
+                                .and_then(|e| e.get("code"))
+                                .and_then(Value::as_str)
+                                == Some("busy");
+                            if busy {
+                                counters.busy.fetch_add(1, Ordering::Relaxed);
+                                while rx.try_recv().is_ok() {
+                                    counters.errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                                break;
+                            }
+                            v
+                        }
                         Ok(None) | Err(_) => {
                             // Dead connection: everything still queued is
                             // lost; count this entry and drain the rest.
@@ -502,9 +525,9 @@ pub fn run_open_loop(addr: &str, config: &OpenLoopConfig) -> Result<OpenLoopSumm
             }
             let now = clock.now_ns();
             if now >= tick_at {
-                let (sent, completed, errors, dropped) = counters.snapshot();
+                let (sent, completed, errors, dropped, busy) = counters.snapshot();
                 eprintln!(
-                    "[bench] t={:.1}s sent={sent} completed={completed} errors={errors} dropped_by_cap={dropped} inflight={}",
+                    "[bench] t={:.1}s sent={sent} completed={completed} errors={errors} dropped_by_cap={dropped} busy={busy} inflight={}",
                     now as f64 / 1.0e9,
                     live_inflight.load(Ordering::Relaxed),
                 );
@@ -527,7 +550,7 @@ pub fn run_open_loop(addr: &str, config: &OpenLoopConfig) -> Result<OpenLoopSumm
     // extra deadline fits before `until_ns`) cannot push achieved above
     // offered.
     let elapsed_s = (clock.now_ns() as f64 / 1.0e9).max(config.duration.as_secs_f64());
-    let (sent, completed, errors, dropped_by_cap) = counters.snapshot();
+    let (sent, completed, errors, dropped_by_cap, busy) = counters.snapshot();
     Ok(OpenLoopSummary {
         offered_qps: config.freq,
         achieved_qps: (completed as f64 / elapsed_s).min(config.freq),
@@ -535,6 +558,7 @@ pub fn run_open_loop(addr: &str, config: &OpenLoopConfig) -> Result<OpenLoopSumm
         completed,
         errors,
         dropped_by_cap,
+        busy,
         elapsed_s,
         latency: merged,
         max_latency_ns: max_latency_ns.load(Ordering::Relaxed),
@@ -771,8 +795,9 @@ mod tests {
         assert_eq!(counters.dropped_by_cap.load(Ordering::Relaxed), 100);
         assert!(dispatch.sends.lock().unwrap().is_empty());
         // sent + dropped accounts for every scheduled deadline.
-        let (sent, _, _, dropped) = counters.snapshot();
+        let (sent, _, _, dropped, busy) = counters.snapshot();
         assert_eq!(sent + dropped, taken);
+        assert_eq!(busy, 0);
     }
 
     #[test]

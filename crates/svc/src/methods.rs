@@ -163,7 +163,7 @@ fn solvable(state: &ServerState, params: &Value) -> (Result<Value, RpcError>, &'
             ("scheme", Value::from(scheme.display_name())),
         ]),
     };
-    state.cache().record_theorem(&key, result.clone());
+    state.record_theorem(&key, result.clone());
     (Ok(result), "miss")
 }
 
@@ -199,7 +199,7 @@ fn check_horizon(state: &ServerState, params: &Value) -> (Result<Value, RpcError
     let outcome = scheme.check(k, &alphabet, budget, parse_parallel(params));
     let result = match outcome {
         CheckResult::Solvable { views, components } => {
-            state.cache().record_horizon(&key, k, true);
+            state.record_horizon(&key, k, true);
             obj(&[
                 ("solvable", Value::from(true)),
                 ("cached", Value::from(false)),
@@ -208,7 +208,7 @@ fn check_horizon(state: &ServerState, params: &Value) -> (Result<Value, RpcError
             ])
         }
         CheckResult::Empty => {
-            state.cache().record_horizon(&key, k, true);
+            state.record_horizon(&key, k, true);
             obj(&[
                 ("solvable", Value::from(true)),
                 ("cached", Value::from(false)),
@@ -216,7 +216,7 @@ fn check_horizon(state: &ServerState, params: &Value) -> (Result<Value, RpcError
             ])
         }
         CheckResult::Unsolvable { chain } => {
-            state.cache().record_horizon(&key, k, false);
+            state.record_horizon(&key, k, false);
             obj(&[
                 ("solvable", Value::from(false)),
                 ("cached", Value::from(false)),
@@ -291,7 +291,7 @@ fn first_horizon(state: &ServerState, params: &Value) -> (Result<Value, RpcError
                     }
                     verdict => {
                         let solvable = verdict.is_solvable();
-                        state.cache().record_horizon(&key, k, solvable);
+                        state.record_horizon(&key, k, solvable);
                         solvable
                     }
                 }

@@ -16,6 +16,7 @@
 
 use crate::cache::VerdictCache;
 use crate::methods::{self, RpcError};
+use crate::wal::{CompactionPolicy, Wal, WalRecord};
 use crate::wire::{self, Request};
 use crossbeam::channel::{self, Receiver, Sender};
 use minobs_obs::{
@@ -39,6 +40,10 @@ const ACCEPT_POLL: Duration = Duration::from_millis(10);
 const READ_POLL: Duration = Duration::from_millis(50);
 /// How long a draining connection may take to finish a half-read frame.
 const DRAIN_GRACE: Duration = Duration::from_secs(5);
+/// How often the acceptor runs WAL maintenance (flush + compaction
+/// check) — keeps appends off the request critical path while bounding
+/// the crash-loss window.
+const WAL_MAINTENANCE: Duration = Duration::from_secs(1);
 
 /// Server-side caps applied to every request's budget.
 #[derive(Debug, Clone, Copy)]
@@ -73,6 +78,9 @@ pub struct SvcConfig {
     pub limits: Limits,
     /// Where to write the `svc_*` event trace, if anywhere.
     pub trace_path: Option<PathBuf>,
+    /// Where to persist verdicts (`minobs/wal/v1`); unset runs
+    /// memory-only. See `docs/PERSISTENCE.md`.
+    pub wal_path: Option<PathBuf>,
 }
 
 impl Default for SvcConfig {
@@ -83,6 +91,7 @@ impl Default for SvcConfig {
             max_connections: 256,
             limits: Limits::default(),
             trace_path: None,
+            wal_path: None,
         }
     }
 }
@@ -98,8 +107,9 @@ impl SvcConfig {
     /// Configuration from `MINOBS_SVC_ADDR` (default `127.0.0.1:0`),
     /// `MINOBS_SVC_WORKERS` (default: available parallelism, clamped to
     /// `[2, 16]`), `MINOBS_SVC_MAX_CONNS` (default 256, clamped to
-    /// `[1, 4096]`), and `MINOBS_SVC_TRACE` (a JSONL path; unset = no
-    /// trace).
+    /// `[1, 4096]`), `MINOBS_SVC_TRACE` (a JSONL path; unset = no
+    /// trace), and `MINOBS_SVC_WAL` (a verdict-log path; unset = no
+    /// persistence).
     pub fn from_env() -> SvcConfig {
         let mut config = SvcConfig::default();
         if let Ok(addr) = std::env::var("MINOBS_SVC_ADDR") {
@@ -122,6 +132,11 @@ impl SvcConfig {
                 config.trace_path = Some(PathBuf::from(path.trim()));
             }
         }
+        if let Ok(path) = std::env::var("MINOBS_SVC_WAL") {
+            if !path.trim().is_empty() {
+                config.wal_path = Some(PathBuf::from(path.trim()));
+            }
+        }
         config
     }
 }
@@ -142,6 +157,12 @@ pub struct ServerState {
     started: Instant,
     metrics: Mutex<MetricsRecorder>,
     trace: Mutex<TraceSink>,
+    /// The verdict log. `None` when persistence is off or after the
+    /// first write failure — degradation is latched by `take()`ing the
+    /// [`Wal`], so a disk that failed once is never written again.
+    wal: Mutex<Option<Wal>>,
+    /// What startup replay found; `None` when persistence is off.
+    replay: Option<crate::wal::ReplayReport>,
 }
 
 impl ServerState {
@@ -152,7 +173,7 @@ impl ServerState {
             Some(path) => TraceSink::File(JsonlSink::create(path)?),
             None => TraceSink::None,
         };
-        Ok(ServerState {
+        let state = ServerState {
             shutting_down: AtomicBool::new(false),
             seq: AtomicU64::new(0),
             metrics: Mutex::new(MetricsRecorder::new(Arc::clone(&registry))),
@@ -162,7 +183,103 @@ impl ServerState {
             workers: config.workers,
             started: Instant::now(),
             trace: Mutex::new(trace),
-        })
+            wal: Mutex::new(None),
+            replay: None,
+        };
+        state.open_wal(config)
+    }
+
+    /// Replays and attaches the configured WAL. A log that cannot be
+    /// opened degrades the daemon to memory-only instead of refusing to
+    /// start: availability first, persistence best-effort.
+    fn open_wal(mut self, config: &SvcConfig) -> io::Result<ServerState> {
+        let Some(path) = &config.wal_path else {
+            return Ok(self);
+        };
+        match Wal::open(path, &self.cache, CompactionPolicy::default()) {
+            Ok((wal, report)) => {
+                lock(&self.metrics).on_wal_replay(report.records, report.bytes, report.dropped_tail);
+                if let TraceSink::File(sink) = &mut *lock(&self.trace) {
+                    sink.on_wal_replay(report.records, report.bytes, report.dropped_tail);
+                }
+                *lock(&self.wal) = Some(wal);
+                self.replay = Some(report);
+            }
+            Err(e) => self.degrade_wal(&e),
+        }
+        Ok(self)
+    }
+
+    /// Latches memory-only mode: drops the log handle, flips the
+    /// `svc.wal_degraded` gauge, and emits a `wal_degraded` trace event.
+    fn degrade_wal(&self, error: &io::Error) {
+        lock(&self.wal).take();
+        let message = error.to_string();
+        lock(&self.metrics).on_wal_degraded(&message);
+        if let TraceSink::File(sink) = &mut *lock(&self.trace) {
+            sink.on_wal_degraded(&message);
+        }
+    }
+
+    fn append_wal(&self, record: &WalRecord) {
+        let result = match lock(&self.wal).as_mut() {
+            Some(wal) => wal.append(record),
+            None => return,
+        };
+        match result {
+            Ok(bytes) => {
+                let (op, key) = (record.op(), record.key());
+                lock(&self.metrics).on_wal_append(op, key, bytes);
+                if let TraceSink::File(sink) = &mut *lock(&self.trace) {
+                    sink.on_wal_append(op, key, bytes);
+                }
+            }
+            Err(e) => self.degrade_wal(&e),
+        }
+    }
+
+    /// Records a definite horizon verdict in the cache *and* the WAL.
+    /// Method handlers call this instead of touching the cache directly,
+    /// so every fresh verdict survives a restart.
+    pub fn record_horizon(&self, key: &str, k: usize, solvable: bool) {
+        self.cache.record_horizon(key, k, solvable);
+        self.append_wal(&WalRecord::Horizon {
+            key: key.to_string(),
+            k,
+            solvable,
+        });
+    }
+
+    /// Memoises a Theorem III.8 result in the cache *and* the WAL.
+    pub fn record_theorem(&self, key: &str, result: Value) {
+        self.cache.record_theorem(key, result.clone());
+        self.append_wal(&WalRecord::Theorem {
+            key: key.to_string(),
+            result,
+        });
+    }
+
+    /// What startup replay found, when persistence is configured.
+    pub fn wal_replay_report(&self) -> Option<crate::wal::ReplayReport> {
+        self.replay
+    }
+
+    /// True while the verdict log is attached and healthy.
+    pub fn wal_active(&self) -> bool {
+        lock(&self.wal).is_some()
+    }
+
+    /// Periodic background WAL work, run from the acceptor thread (off
+    /// the request path): push buffered appends to the OS and rewrite
+    /// the log when dead deltas dominate. Any failure degrades.
+    fn wal_maintenance(&self) {
+        let mut guard = lock(&self.wal);
+        let Some(wal) = guard.as_mut() else { return };
+        let result = wal.flush().and_then(|()| wal.maybe_compact(&self.cache));
+        if let Err(e) = result {
+            drop(guard);
+            self.degrade_wal(&e);
+        }
     }
 
     /// True once a drain has started.
@@ -326,6 +443,9 @@ impl Server {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        // Drain complete: every answered verdict is in the cache, so one
+        // last flush makes the log as warm as the cache was.
+        self.state.wal_maintenance();
         self.state.flush_trace();
     }
 }
@@ -337,7 +457,12 @@ fn acceptor_loop(
     max_connections: usize,
 ) {
     let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    let mut last_maintenance = Instant::now();
     while !state.draining() {
+        if last_maintenance.elapsed() >= WAL_MAINTENANCE {
+            state.wal_maintenance();
+            last_maintenance = Instant::now();
+        }
         match listener.accept() {
             Ok((stream, _)) => {
                 connections.retain(|handle| !handle.is_finished());

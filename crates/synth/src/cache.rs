@@ -20,6 +20,7 @@
 
 use minobs_core::prelude::Letter;
 use minobs_core::scheme::OmissionScheme;
+use serde_json::{Map, Value};
 
 use crate::checker::{
     solvable_by_budgeted, Budget, CheckResult, HorizonOutcome,
@@ -118,6 +119,47 @@ impl HorizonVerdicts {
                 self.max_unsolvable = Some(k);
             }
         }
+    }
+
+    /// Reassembles a summary from its two boundaries, e.g. parsed back
+    /// out of a persisted record. `None` when the pair contradicts
+    /// monotonicity (`max_unsolvable >= min_solvable`) — a corrupt or
+    /// cross-scheme record must be rejected, not recorded.
+    pub fn from_boundaries(
+        min_solvable: Option<usize>,
+        max_unsolvable: Option<usize>,
+    ) -> Option<HorizonVerdicts> {
+        if let (Some(s), Some(u)) = (min_solvable, max_unsolvable) {
+            if u >= s {
+                return None;
+            }
+        }
+        Some(HorizonVerdicts {
+            min_solvable,
+            max_unsolvable,
+        })
+    }
+
+    /// The summary as a stable JSON object, the on-disk shape used by
+    /// the `minobs-svc` write-ahead verdict log (`minobs/wal/v1`).
+    pub fn to_json(&self) -> Value {
+        let bound = |b: Option<usize>| b.map_or(Value::Null, |k| Value::from(k as u64));
+        let mut map = Map::new();
+        map.insert("min_solvable".to_string(), bound(self.min_solvable));
+        map.insert("max_unsolvable".to_string(), bound(self.max_unsolvable));
+        Value::Object(map)
+    }
+
+    /// Parses [`HorizonVerdicts::to_json`] output. `None` on a missing
+    /// field, a non-integer boundary, or a monotonicity-violating pair.
+    pub fn from_json(value: &Value) -> Option<HorizonVerdicts> {
+        let bound = |name: &str| -> Option<Option<usize>> {
+            match value.get(name)? {
+                Value::Null => Some(None),
+                v => Some(Some(usize::try_from(v.as_u64()?).ok()?)),
+            }
+        };
+        HorizonVerdicts::from_boundaries(bound("min_solvable")?, bound("max_unsolvable")?)
     }
 
     /// Answers a horizon-`k` query from the recorded boundaries, or
@@ -282,6 +324,27 @@ mod tests {
         // The gap stays unknown.
         assert_eq!(cache.lookup(3), None);
         assert_eq!(cache.lookup(4), None);
+    }
+
+    #[test]
+    fn json_round_trips_and_rejects_contradictions() {
+        let mut cache = HorizonVerdicts::new();
+        assert_eq!(HorizonVerdicts::from_json(&cache.to_json()), Some(cache));
+        cache.record(2, false);
+        assert_eq!(HorizonVerdicts::from_json(&cache.to_json()), Some(cache));
+        cache.record(5, true);
+        let json = cache.to_json();
+        assert_eq!(json.get("min_solvable").and_then(Value::as_u64), Some(5));
+        assert_eq!(json.get("max_unsolvable").and_then(Value::as_u64), Some(2));
+        assert_eq!(HorizonVerdicts::from_json(&json), Some(cache));
+
+        // A record whose boundaries contradict monotonicity is refused.
+        let bad: Value =
+            serde_json::from_str(r#"{"min_solvable":2,"max_unsolvable":4}"#).unwrap();
+        assert_eq!(HorizonVerdicts::from_json(&bad), None);
+        assert_eq!(HorizonVerdicts::from_json(&Value::Null), None);
+        let partial: Value = serde_json::from_str(r#"{"min_solvable":2}"#).unwrap();
+        assert_eq!(HorizonVerdicts::from_json(&partial), None);
     }
 
     #[test]

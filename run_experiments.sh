@@ -42,9 +42,14 @@ echo "================================================================"
 # The service-side trajectory: an open-loop sweep that must locate the
 # saturation knee (--expect-knee). The range spans well past the ~20k
 # req/s a single-core box sustains so the knee is inside the sweep.
+# The WAL is on so the recorded numbers include the durability tax
+# (see docs/PERSISTENCE.md).
 cargo build --release --quiet -p minobs-svc
 mkdir -p target/svc
-MINOBS_SVC_ADDR=127.0.0.1:0 target/release/minobs-svcd \
+rm -f target/svc/bench_verdicts.wal
+MINOBS_SVC_ADDR=127.0.0.1:0 \
+MINOBS_SVC_WAL=target/svc/bench_verdicts.wal \
+  target/release/minobs-svcd \
   > target/svc/bench_daemon.out 2>&1 &
 DAEMON=$!
 trap 'kill "$DAEMON" 2>/dev/null || true' EXIT
