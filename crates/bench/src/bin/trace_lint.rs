@@ -305,6 +305,48 @@ fn lint(text: &str) -> Result<(usize, usize), String> {
                     .and_then(Value::as_str)
                     .ok_or_else(|| format!("line {line_no}: wal_degraded missing \"error\""))?;
             }
+            "gossip_round" => {
+                value
+                    .get("peer")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("line {line_no}: gossip_round missing \"peer\""))?;
+                field_u64(&value, "sent", line_no)?;
+                field_u64(&value, "received", line_no)?;
+                field_u64(&value, "nanos", line_no)?;
+            }
+            "gossip_apply" => {
+                value
+                    .get("peer")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("line {line_no}: gossip_apply missing \"peer\""))?;
+                let op = value
+                    .get("op")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("line {line_no}: gossip_apply missing \"op\""))?;
+                if !matches!(op, "horizon" | "theorem") {
+                    return Err(format!(
+                        "line {line_no}: gossip_apply op {op:?}, expected horizon/theorem \
+                         (snapshots never travel over gossip)"
+                    ));
+                }
+                value
+                    .get("key")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("line {line_no}: gossip_apply missing \"key\""))?;
+                value
+                    .get("accepted")
+                    .and_then(Value::as_bool)
+                    .ok_or_else(|| {
+                        format!("line {line_no}: gossip_apply missing boolean \"accepted\"")
+                    })?;
+            }
+            "peer_down" => {
+                value
+                    .get("peer")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("line {line_no}: peer_down missing \"peer\""))?;
+                field_u64(&value, "failures", line_no)?;
+            }
             // decision/span/checker_round/checker_progress/horizon need no
             // cross-checks here.
             _ => {}
@@ -641,6 +683,37 @@ mod tests {
 
         let no_error = line(r#"{"schema":"SCHEMA","event":"wal_degraded","round":0}"#);
         assert!(lint(&no_error).unwrap_err().contains("error"));
+    }
+
+    #[test]
+    fn validates_gossip_events() {
+        let ok = [
+            r#"{"schema":"SCHEMA","event":"gossip_round","round":0,"peer":"127.0.0.1:7071","sent":4,"received":2,"nanos":15000}"#,
+            r#"{"schema":"SCHEMA","event":"gossip_apply","round":0,"peer":"127.0.0.1:7071","op":"horizon","key":"classic:s1|gamma","accepted":true}"#,
+            r#"{"schema":"SCHEMA","event":"gossip_apply","round":0,"peer":"127.0.0.1:7071","op":"theorem","key":"classic:s1|theorem","accepted":false}"#,
+            r#"{"schema":"SCHEMA","event":"peer_down","round":0,"peer":"127.0.0.1:7072","failures":3}"#,
+        ]
+        .map(line)
+        .join("\n");
+        assert_eq!(lint(&ok), Ok((4, 0)));
+
+        let bad_op = line(
+            r#"{"schema":"SCHEMA","event":"gossip_apply","round":0,"peer":"p","op":"snapshot","key":"k","accepted":true}"#,
+        );
+        assert!(lint(&bad_op).unwrap_err().contains("op"));
+
+        let no_accepted = line(
+            r#"{"schema":"SCHEMA","event":"gossip_apply","round":0,"peer":"p","op":"horizon","key":"k"}"#,
+        );
+        assert!(lint(&no_accepted).unwrap_err().contains("accepted"));
+
+        let no_sent = line(
+            r#"{"schema":"SCHEMA","event":"gossip_round","round":0,"peer":"p","received":0,"nanos":1}"#,
+        );
+        assert!(lint(&no_sent).unwrap_err().contains("sent"));
+
+        let no_failures = line(r#"{"schema":"SCHEMA","event":"peer_down","round":0,"peer":"p"}"#);
+        assert!(lint(&no_failures).unwrap_err().contains("failures"));
     }
 
     #[test]

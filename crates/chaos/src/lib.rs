@@ -33,6 +33,7 @@ pub mod artifact;
 pub mod fault;
 pub mod gen;
 pub mod harness;
+pub mod link;
 pub mod props;
 pub mod record;
 pub mod shrink;
@@ -41,6 +42,7 @@ pub use artifact::{GraphSpec, Reproducer, REPRODUCER_SCHEMA};
 pub use fault::FaultPlan;
 pub use gen::AdversaryGen;
 pub use harness::{replay, run_chaos, ChaosConfig, ChaosReport};
+pub use link::{LinkFault, LinkFaultPlan};
 pub use props::Violation;
 pub use record::RecordingAdversary;
 pub use shrink::shrink_script;

@@ -1,0 +1,215 @@
+//! Replication-link fault plans: the adversary DSL pointed at gossip.
+//!
+//! [`crate::fault::FaultPlan`] attacks bytes at rest; a [`LinkFaultPlan`]
+//! attacks the anti-entropy rounds a verdict-cache cluster uses to stay
+//! convergent. A plan describes, per logical gossip round and directed link,
+//! whether the exchange is delivered, dropped, or delayed:
+//!
+//! - **partition** — for a window of rounds, a sampled non-trivial node
+//!   split severs every link that crosses it (both directions);
+//! - **noise** — outside and inside the window, an independent per-link
+//!   chance of a dropped or briefly delayed round;
+//! - **heal** — past [`LinkFaultPlan::heal_round`] every link delivers,
+//!   unconditionally, so a convergence property has a guaranteed horizon
+//!   to assert against.
+//!
+//! Verdicts are a pure function of `(plan, round, from, to)` — no RNG
+//! state advances at decision time — so a plan can be consulted
+//! concurrently from every node of an in-process cluster and a pinned
+//! seed sweep replays identically, exactly like the storage-fault sweep.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What a link does with one gossip round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFault {
+    /// The round goes through.
+    Deliver,
+    /// The round is lost; the initiator sees a failure.
+    Drop,
+    /// The round goes through after this many milliseconds.
+    Delay(u64),
+}
+
+/// One sampled replication-link fault schedule over a cluster of nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkFaultPlan {
+    /// Seed the per-link noise is keyed from.
+    pub seed: u64,
+    /// Number of nodes (indices `0..nodes`).
+    pub nodes: usize,
+    /// First round of the partition window.
+    pub partition_start: u64,
+    /// First round *after* the partition window.
+    pub partition_end: u64,
+    /// Bitmask over node indices naming one side of the partition.
+    /// Non-trivial by construction (neither empty nor everyone).
+    pub split: u64,
+    /// Per-mill probability a non-partitioned round is dropped anyway.
+    pub drop_per_mill: u32,
+    /// Per-mill probability a delivered round is delayed a few ms.
+    pub delay_per_mill: u32,
+    /// Round from which every link delivers unconditionally.
+    pub heal_round: u64,
+}
+
+impl LinkFaultPlan {
+    /// The do-nothing plan: every round on every link delivers.
+    pub const NONE: LinkFaultPlan = LinkFaultPlan {
+        seed: 0,
+        nodes: 0,
+        partition_start: 0,
+        partition_end: 0,
+        split: 0,
+        drop_per_mill: 0,
+        delay_per_mill: 0,
+        heal_round: 0,
+    };
+
+    /// Samples one plan for a cluster of `nodes` (≥ 2). Deterministic per
+    /// seed: the partition window, the split, and the noise rates are all
+    /// pinned up front.
+    pub fn sample(seed: u64, nodes: usize) -> LinkFaultPlan {
+        assert!(nodes >= 2, "a link plan needs at least two nodes");
+        assert!(nodes <= 63, "split mask is a u64 bitmask");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let partition_start = rng.random_below(4) as u64 + 1;
+        let window = rng.random_below(8) as u64 + 3;
+        // Any value in 1..2^nodes-1 leaves both sides non-empty.
+        let split = rng.random_below((1usize << nodes) - 2) as u64 + 1;
+        let partition_end = partition_start + window;
+        LinkFaultPlan {
+            seed,
+            nodes,
+            partition_start,
+            partition_end,
+            split,
+            drop_per_mill: rng.random_below(250) as u32,
+            delay_per_mill: rng.random_below(200) as u32,
+            heal_round: partition_end,
+        }
+    }
+
+    /// `true` once every link is guaranteed to deliver.
+    pub fn healed(&self, round: u64) -> bool {
+        round >= self.heal_round
+    }
+
+    /// `true` when the directed link `from -> to` crosses the partition
+    /// during `round`.
+    pub fn partitioned(&self, round: u64, from: usize, to: usize) -> bool {
+        round >= self.partition_start
+            && round < self.partition_end
+            && (self.split >> (from % 64)) & 1 != (self.split >> (to % 64)) & 1
+    }
+
+    /// The fault verdict for node `from` gossiping to node `to` on logical
+    /// round `round`. Pure in its inputs.
+    pub fn verdict(&self, round: u64, from: usize, to: usize) -> LinkFault {
+        if self.nodes == 0 || self.healed(round) {
+            return LinkFault::Deliver;
+        }
+        if self.partitioned(round, from, to) {
+            return LinkFault::Drop;
+        }
+        // Keyed noise: a splitmix-style hash of (seed, round, link) in
+        // place of RNG state, so concurrent callers agree.
+        let mut x = self
+            .seed
+            .wrapping_add(round.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .wrapping_add((from as u64) << 32 | to as u64);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        let roll = (x % 1000) as u32;
+        if roll < self.drop_per_mill {
+            LinkFault::Drop
+        } else if roll < self.drop_per_mill + self.delay_per_mill {
+            LinkFault::Delay(1 + x % 3)
+        } else {
+            LinkFault::Deliver
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan_and_verdicts() {
+        for seed in 0..32 {
+            let a = LinkFaultPlan::sample(seed, 3);
+            let b = LinkFaultPlan::sample(seed, 3);
+            assert_eq!(a, b);
+            for round in 0..40 {
+                for from in 0..3 {
+                    for to in 0..3 {
+                        assert_eq!(
+                            a.verdict(round, from, to),
+                            b.verdict(round, from, to),
+                            "seed {seed} round {round} {from}->{to}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_is_nontrivial_and_severs_both_directions() {
+        for seed in 0..64u64 {
+            let plan = LinkFaultPlan::sample(seed, 3);
+            let mask = plan.split & ((1 << plan.nodes) - 1);
+            assert!(mask != 0, "seed {seed}: one side empty");
+            assert!(
+                mask != (1 << plan.nodes) - 1,
+                "seed {seed}: other side empty"
+            );
+            let round = plan.partition_start;
+            for from in 0..plan.nodes {
+                for to in 0..plan.nodes {
+                    if plan.partitioned(round, from, to) {
+                        assert!(plan.partitioned(round, to, from), "symmetric severing");
+                        assert_eq!(plan.verdict(round, from, to), LinkFault::Drop);
+                    }
+                }
+            }
+            // Some link must actually be severed during the window.
+            let severed = (0..plan.nodes)
+                .flat_map(|f| (0..plan.nodes).map(move |t| (f, t)))
+                .any(|(f, t)| f != t && plan.partitioned(round, f, t));
+            assert!(severed, "seed {seed}: partition severs nothing");
+        }
+    }
+
+    #[test]
+    fn every_plan_heals() {
+        for seed in 0..64u64 {
+            let plan = LinkFaultPlan::sample(seed, 4);
+            assert!(plan.heal_round >= plan.partition_end);
+            for round in plan.heal_round..plan.heal_round + 10 {
+                for from in 0..plan.nodes {
+                    for to in 0..plan.nodes {
+                        assert_eq!(
+                            plan.verdict(round, from, to),
+                            LinkFault::Deliver,
+                            "seed {seed}: fault after heal"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn none_plan_always_delivers() {
+        for round in 0..10 {
+            assert_eq!(LinkFaultPlan::NONE.verdict(round, 0, 1), LinkFault::Deliver);
+        }
+        assert!(LinkFaultPlan::NONE.healed(0));
+    }
+}

@@ -1,0 +1,60 @@
+//! Peer replication for the verdict-cache daemons.
+//!
+//! A cluster is N `minobs-svcd` processes that each own a full copy of the
+//! verdict map and keep each other current through anti-entropy gossip:
+//!
+//! * [`ring`] — consistent-hash ring used by clients to pick the node that
+//!   owns a canonical key, with bounded remapping when membership changes.
+//! * [`digest`] — the `minobs/gossip/v1` payloads: per-shard fingerprints of
+//!   the verdict map plus the horizon/theorem deltas shipped for shards whose
+//!   fingerprints disagree. Deltas reuse the `minobs/wal/v1` record shapes so
+//!   a replicated verdict flows through the same ingest path as a local one.
+//! * [`peers`] — per-peer health and traffic accounting behind the `stats`
+//!   RPC and `svc top` peer table.
+//! * [`link`] — an injectable per-link fault policy so chaos tests can drop,
+//!   delay, or partition gossip rounds deterministically.
+//!
+//! Convergence is a semilattice join: horizon bounds only ever tighten
+//! (`Solvable@k` implies solvable for all larger horizons, `Unsolvable@k` for
+//! all smaller ones) and theorem payloads are immutable once recorded, so
+//! applying the same deltas in any order on any node reaches the same map.
+//! Ingest cross-validates every delta against the live cache first; a record
+//! that would contradict an established bound is rejected, never merged.
+
+pub mod digest;
+pub mod link;
+pub mod peers;
+pub mod ring;
+
+pub use digest::{
+    fingerprints, mismatched, shard_deltas, shard_of, Delta, GossipBody, GossipRequest,
+    GOSSIP_SCHEMA, SHARDS,
+};
+pub use link::{LinkPolicy, LinkVerdict};
+pub use peers::{PeerStats, PeerTable, DOWN_AFTER};
+pub use ring::HashRing;
+
+/// FNV-1a 64-bit hash. Used by both the ring (placement) and the digest
+/// (sharding + fingerprints) so the wire format is pinned independently of
+/// `std::hash` internals.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fnv1a;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+}

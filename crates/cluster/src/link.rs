@@ -1,0 +1,81 @@
+//! Injectable per-link fault policy for gossip rounds.
+//!
+//! The daemon's gossip loop asks the configured [`LinkPolicy`] for a verdict
+//! before every outbound exchange: deliver the round, drop it (counts as a
+//! peer failure, exactly like a refused connection), or delay it. Production
+//! daemons run with no policy (always deliver); chaos tests install a seeded
+//! policy built from `minobs-chaos`'s link-fault plans to rehearse
+//! partitions deterministically. The policy lives here rather than in the
+//! chaos crate so `minobs-svc` needs no dev-only dependency to accept one.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+type VerdictFn = dyn Fn(u64, &str) -> LinkVerdict + Send + Sync;
+
+/// What the link does with one outbound gossip round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkVerdict {
+    /// The exchange proceeds normally.
+    Deliver,
+    /// The exchange never happens; the peer sees nothing and the initiator
+    /// records a failure.
+    Drop,
+    /// The exchange proceeds after sleeping this long.
+    Delay(Duration),
+}
+
+/// A pure function from `(round, peer address)` to a [`LinkVerdict`].
+///
+/// Policies must be deterministic in their inputs so a seeded chaos run
+/// replays identically. `Clone` shares the underlying closure.
+#[derive(Clone)]
+pub struct LinkPolicy {
+    verdict: Arc<VerdictFn>,
+}
+
+impl LinkPolicy {
+    /// Wraps a verdict function.
+    pub fn new<F>(verdict: F) -> LinkPolicy
+    where
+        F: Fn(u64, &str) -> LinkVerdict + Send + Sync + 'static,
+    {
+        LinkPolicy {
+            verdict: Arc::new(verdict),
+        }
+    }
+
+    /// The verdict for gossiping to `peer` on logical round `round`.
+    pub fn verdict(&self, round: u64, peer: &str) -> LinkVerdict {
+        (self.verdict)(round, peer)
+    }
+}
+
+impl fmt::Debug for LinkPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("LinkPolicy(..)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_is_deterministic_and_clonable() {
+        let policy = LinkPolicy::new(|round, peer| {
+            if round < 2 && peer == "b:2" {
+                LinkVerdict::Drop
+            } else {
+                LinkVerdict::Deliver
+            }
+        });
+        let copy = policy.clone();
+        assert_eq!(policy.verdict(0, "b:2"), LinkVerdict::Drop);
+        assert_eq!(copy.verdict(0, "b:2"), LinkVerdict::Drop);
+        assert_eq!(policy.verdict(2, "b:2"), LinkVerdict::Deliver);
+        assert_eq!(policy.verdict(0, "a:1"), LinkVerdict::Deliver);
+        assert_eq!(format!("{policy:?}"), "LinkPolicy(..)");
+    }
+}

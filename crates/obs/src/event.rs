@@ -249,6 +249,39 @@ pub enum TraceEvent {
         /// The I/O error that forced degradation.
         error: String,
     },
+    /// One anti-entropy gossip exchange with a peer finished. `round` is
+    /// always 0.
+    GossipRound {
+        /// Peer address gossiped with, e.g. `"127.0.0.1:7401"`.
+        peer: String,
+        /// Deltas shipped to the peer this exchange.
+        sent: u64,
+        /// Deltas received from the peer this exchange.
+        received: u64,
+        /// Wall-clock nanoseconds for the whole exchange (0 when timing
+        /// is off).
+        nanos: u64,
+    },
+    /// One replicated delta was ingested from a peer. `round` is always 0.
+    GossipApply {
+        /// Peer address the delta arrived from.
+        peer: String,
+        /// Record operation replicated: `"horizon"` or `"theorem"`.
+        op: &'static str,
+        /// Canonical cache key of the replicated verdict.
+        key: String,
+        /// `false` when cross-validation rejected the delta (a would-be
+        /// contradiction from a hostile or corrupt peer).
+        accepted: bool,
+    },
+    /// A peer stopped answering gossip and was marked down. `round` is
+    /// always 0.
+    PeerDown {
+        /// Address of the unresponsive peer.
+        peer: String,
+        /// Consecutive failed exchanges at the moment of marking.
+        failures: u64,
+    },
 }
 
 impl TraceEvent {
@@ -273,6 +306,9 @@ impl TraceEvent {
             TraceEvent::WalAppend { .. } => "wal_append",
             TraceEvent::WalReplay { .. } => "wal_replay",
             TraceEvent::WalDegraded { .. } => "wal_degraded",
+            TraceEvent::GossipRound { .. } => "gossip_round",
+            TraceEvent::GossipApply { .. } => "gossip_apply",
+            TraceEvent::PeerDown { .. } => "peer_down",
         }
     }
 
@@ -285,7 +321,10 @@ impl TraceEvent {
             | TraceEvent::SvcResponse { .. }
             | TraceEvent::WalAppend { .. }
             | TraceEvent::WalReplay { .. }
-            | TraceEvent::WalDegraded { .. } => 0,
+            | TraceEvent::WalDegraded { .. }
+            | TraceEvent::GossipRound { .. }
+            | TraceEvent::GossipApply { .. }
+            | TraceEvent::PeerDown { .. } => 0,
             TraceEvent::Message { round, .. }
             | TraceEvent::Decision { round, .. }
             | TraceEvent::RoundEnd { round, .. }
@@ -433,6 +472,32 @@ impl TraceEvent {
             TraceEvent::WalDegraded { error } => {
                 map.insert("error".to_string(), Value::from(error.as_str()));
             }
+            TraceEvent::GossipRound {
+                peer,
+                sent,
+                received,
+                nanos,
+            } => {
+                map.insert("peer".to_string(), Value::from(peer.as_str()));
+                map.insert("sent".to_string(), Value::from(*sent));
+                map.insert("received".to_string(), Value::from(*received));
+                map.insert("nanos".to_string(), Value::from(*nanos));
+            }
+            TraceEvent::GossipApply {
+                peer,
+                op,
+                key,
+                accepted,
+            } => {
+                map.insert("peer".to_string(), Value::from(peer.as_str()));
+                map.insert("op".to_string(), Value::from(*op));
+                map.insert("key".to_string(), Value::from(key.as_str()));
+                map.insert("accepted".to_string(), Value::from(*accepted));
+            }
+            TraceEvent::PeerDown { peer, failures } => {
+                map.insert("peer".to_string(), Value::from(peer.as_str()));
+                map.insert("failures".to_string(), Value::from(*failures));
+            }
         }
         Value::Object(map)
     }
@@ -552,6 +617,22 @@ mod tests {
             },
             TraceEvent::WalDegraded {
                 error: "no space left on device".to_string(),
+            },
+            TraceEvent::GossipRound {
+                peer: "127.0.0.1:7401".to_string(),
+                sent: 3,
+                received: 2,
+                nanos: 55,
+            },
+            TraceEvent::GossipApply {
+                peer: "127.0.0.1:7401".to_string(),
+                op: "horizon",
+                key: "classic:s1|gamma".to_string(),
+                accepted: true,
+            },
+            TraceEvent::PeerDown {
+                peer: "127.0.0.1:7402".to_string(),
+                failures: 3,
             },
         ];
         for event in &events {

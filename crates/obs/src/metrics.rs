@@ -386,6 +386,12 @@ impl MetricsRegistry {
 /// | `svc.responses_{ok,err}` | counter | every `svc_response` by outcome |
 /// | `svc.request_latency_ns` | histogram | `svc_response` nanos (when timed) |
 /// | `svc.method.{method}.latency_ns` | histogram | timed `svc_response`, per method |
+/// | `svc.gossip_rounds` | counter | every `gossip_round` |
+/// | `svc.gossip_deltas_{sent,received}` | counter | `gossip_round` counts |
+/// | `svc.gossip_applied` | counter | every accepted `gossip_apply` |
+/// | `svc.gossip_rejected` | counter | every rejected `gossip_apply` |
+/// | `svc.gossip_round_latency_ns` | histogram | `gossip_round` nanos (when timed) |
+/// | `svc.gossip_peer_down` | counter | every `peer_down` |
 ///
 /// The service's verdict cache feeds `svc.cache_{hits,misses,subsumptions}`
 /// counters directly (not through the event stream) so the totals stay
@@ -415,6 +421,13 @@ pub struct MetricsRecorder {
     wal_append_bytes: Arc<Counter>,
     wal_replayed_records: Arc<Counter>,
     wal_degraded: Arc<Gauge>,
+    gossip_rounds: Arc<Counter>,
+    gossip_deltas_sent: Arc<Counter>,
+    gossip_deltas_received: Arc<Counter>,
+    gossip_applied: Arc<Counter>,
+    gossip_rejected: Arc<Counter>,
+    gossip_round_latency: Arc<Histogram>,
+    gossip_peer_down: Arc<Counter>,
     /// Lazily created per-span-name and per-method histograms, cached so
     /// the hot path resolves each name through the registry lock once.
     span_latency: BTreeMap<String, Arc<Histogram>>,
@@ -451,6 +464,13 @@ impl MetricsRecorder {
             wal_append_bytes: registry.counter("svc.wal_append_bytes"),
             wal_replayed_records: registry.counter("svc.wal_replayed_records"),
             wal_degraded: registry.gauge("svc.wal_degraded"),
+            gossip_rounds: registry.counter("svc.gossip_rounds"),
+            gossip_deltas_sent: registry.counter("svc.gossip_deltas_sent"),
+            gossip_deltas_received: registry.counter("svc.gossip_deltas_received"),
+            gossip_applied: registry.counter("svc.gossip_applied"),
+            gossip_rejected: registry.counter("svc.gossip_rejected"),
+            gossip_round_latency: registry.histogram("svc.gossip_round_latency_ns", &latency),
+            gossip_peer_down: registry.counter("svc.gossip_peer_down"),
             span_latency: BTreeMap::new(),
             method_latency: BTreeMap::new(),
             latency_bounds: latency,
@@ -571,6 +591,27 @@ impl Recorder for MetricsRecorder {
 
     fn on_wal_degraded(&mut self, _error: &str) {
         self.wal_degraded.set(1);
+    }
+
+    fn on_gossip_round(&mut self, _peer: &str, sent: u64, received: u64, nanos: u64) {
+        self.gossip_rounds.inc();
+        self.gossip_deltas_sent.add(sent);
+        self.gossip_deltas_received.add(received);
+        if nanos > 0 {
+            self.gossip_round_latency.observe(nanos);
+        }
+    }
+
+    fn on_gossip_apply(&mut self, _peer: &str, _op: &'static str, _key: &str, accepted: bool) {
+        if accepted {
+            self.gossip_applied.inc();
+        } else {
+            self.gossip_rejected.inc();
+        }
+    }
+
+    fn on_peer_down(&mut self, _peer: &str, _failures: u64) {
+        self.gossip_peer_down.inc();
     }
 }
 

@@ -214,6 +214,37 @@ pub trait Recorder {
             error: error.to_string(),
         });
     }
+
+    /// One anti-entropy gossip exchange with `peer` finished.
+    #[inline]
+    fn on_gossip_round(&mut self, peer: &str, sent: u64, received: u64, nanos: u64) {
+        self.record(TraceEvent::GossipRound {
+            peer: peer.to_string(),
+            sent,
+            received,
+            nanos,
+        });
+    }
+
+    /// One replicated delta from `peer` was ingested (or rejected).
+    #[inline]
+    fn on_gossip_apply(&mut self, peer: &str, op: &'static str, key: &str, accepted: bool) {
+        self.record(TraceEvent::GossipApply {
+            peer: peer.to_string(),
+            op,
+            key: key.to_string(),
+            accepted,
+        });
+    }
+
+    /// A peer stopped answering gossip and was marked down.
+    #[inline]
+    fn on_peer_down(&mut self, peer: &str, failures: u64) {
+        self.record(TraceEvent::PeerDown {
+            peer: peer.to_string(),
+            failures,
+        });
+    }
 }
 
 /// A `&mut` reference forwards to the referent, overridden hooks included,
@@ -298,6 +329,18 @@ impl<R: Recorder + ?Sized> Recorder for &mut R {
     #[inline]
     fn on_wal_degraded(&mut self, error: &str) {
         (**self).on_wal_degraded(error);
+    }
+    #[inline]
+    fn on_gossip_round(&mut self, peer: &str, sent: u64, received: u64, nanos: u64) {
+        (**self).on_gossip_round(peer, sent, received, nanos);
+    }
+    #[inline]
+    fn on_gossip_apply(&mut self, peer: &str, op: &'static str, key: &str, accepted: bool) {
+        (**self).on_gossip_apply(peer, op, key, accepted);
+    }
+    #[inline]
+    fn on_peer_down(&mut self, peer: &str, failures: u64) {
+        (**self).on_peer_down(peer, failures);
     }
 }
 
@@ -388,6 +431,19 @@ pub fn replay_event<R: Recorder + ?Sized>(recorder: &mut R, event: &TraceEvent) 
             dropped_tail,
         } => recorder.on_wal_replay(*records, *bytes, *dropped_tail),
         TraceEvent::WalDegraded { error } => recorder.on_wal_degraded(error),
+        TraceEvent::GossipRound {
+            peer,
+            sent,
+            received,
+            nanos,
+        } => recorder.on_gossip_round(peer, *sent, *received, *nanos),
+        TraceEvent::GossipApply {
+            peer,
+            op,
+            key,
+            accepted,
+        } => recorder.on_gossip_apply(peer, op, key, *accepted),
+        TraceEvent::PeerDown { peer, failures } => recorder.on_peer_down(peer, *failures),
     }
 }
 
@@ -465,6 +521,11 @@ impl MemoryRecorder {
             TraceEvent::WalAppend { .. }
             | TraceEvent::WalReplay { .. }
             | TraceEvent::WalDegraded { .. } => (0, 11, 0, 0),
+            // Gossip events likewise keep emission order: exchanges are
+            // sequenced by the gossip loop itself.
+            TraceEvent::GossipRound { .. }
+            | TraceEvent::GossipApply { .. }
+            | TraceEvent::PeerDown { .. } => (0, 12, 0, 0),
         });
         events
     }
@@ -596,6 +657,18 @@ impl<A: Recorder, B: Recorder> Recorder for TeeRecorder<A, B> {
         self.first.on_wal_degraded(error);
         self.second.on_wal_degraded(error);
     }
+    fn on_gossip_round(&mut self, peer: &str, sent: u64, received: u64, nanos: u64) {
+        self.first.on_gossip_round(peer, sent, received, nanos);
+        self.second.on_gossip_round(peer, sent, received, nanos);
+    }
+    fn on_gossip_apply(&mut self, peer: &str, op: &'static str, key: &str, accepted: bool) {
+        self.first.on_gossip_apply(peer, op, key, accepted);
+        self.second.on_gossip_apply(peer, op, key, accepted);
+    }
+    fn on_peer_down(&mut self, peer: &str, failures: u64) {
+        self.first.on_peer_down(peer, failures);
+        self.second.on_peer_down(peer, failures);
+    }
 }
 
 #[cfg(test)]
@@ -700,6 +773,56 @@ mod tests {
             .map(TraceEvent::kind)
             .collect();
         assert_eq!(kinds, ["span_start", "span_end", "span_start", "span_end"]);
+    }
+
+    #[test]
+    fn gossip_hooks_funnel_and_tee_forwards_them() {
+        let mut memory = MemoryRecorder::new();
+        memory.on_gossip_round("127.0.0.1:7401", 2, 1, 10);
+        memory.on_gossip_apply("127.0.0.1:7401", "horizon", "classic:s1|gamma", true);
+        memory.on_peer_down("127.0.0.1:7402", 3);
+        let kinds: Vec<&str> = memory.events().iter().map(TraceEvent::kind).collect();
+        assert_eq!(kinds, ["gossip_round", "gossip_apply", "peer_down"]);
+
+        /// Counts gossip hook calls in overrides; `record` stays a no-op,
+        /// so only explicit hook forwarding reaches it.
+        #[derive(Default)]
+        struct GossipCounter {
+            rounds: usize,
+            applies: usize,
+            downs: usize,
+        }
+        impl Recorder for GossipCounter {
+            fn on_gossip_round(&mut self, _p: &str, _s: u64, _r: u64, _n: u64) {
+                self.rounds += 1;
+            }
+            fn on_gossip_apply(&mut self, _p: &str, _o: &'static str, _k: &str, _a: bool) {
+                self.applies += 1;
+            }
+            fn on_peer_down(&mut self, _p: &str, _f: u64) {
+                self.downs += 1;
+            }
+        }
+        let mut counter = GossipCounter::default();
+        {
+            let mut tee = TeeRecorder::new(&mut counter, MemoryRecorder::new());
+            tee.on_gossip_round("a", 0, 0, 0);
+            tee.on_gossip_apply("a", "theorem", "k", false);
+            tee.on_peer_down("a", 1);
+        }
+        assert_eq!(
+            (counter.rounds, counter.applies, counter.downs),
+            (1, 1, 1)
+        );
+        // replay_event must dispatch through the overrides too.
+        let mut counter = GossipCounter::default();
+        for event in memory.events() {
+            replay_event(&mut counter, event);
+        }
+        assert_eq!(
+            (counter.rounds, counter.applies, counter.downs),
+            (1, 1, 1)
+        );
     }
 
     #[test]

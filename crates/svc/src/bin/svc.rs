@@ -854,8 +854,54 @@ fn render_top_frame(addr: &str, stats: &Value, previous: Option<&TopSample>) -> 
     if latency.is_empty() {
         println!("  (no timed requests yet)");
     }
+    render_peers(stats);
 
     TopSample { responses, at: now }
+}
+
+/// Prints the gossip peer table from the `stats` `peers` section. A
+/// single-node daemon (or one predating the field) prints nothing.
+fn render_peers(stats: &Value) {
+    let Some(peers) = stats.get("peers") else {
+        return;
+    };
+    let count = peers.get("count").and_then(Value::as_u64).unwrap_or(0);
+    if count == 0 {
+        return;
+    }
+    let alive = peers.get("alive").and_then(Value::as_u64).unwrap_or(0);
+    let max_lag = peers.get("max_lag").and_then(Value::as_u64).unwrap_or(0);
+    println!("  peers: {alive}/{count} alive, max lag {max_lag} shards");
+    println!(
+        "  {:<22} {:>6} {:>10} {:>10} {:>10} {:>6} {:>10}",
+        "peer", "state", "exchanges", "deltas in", "deltas out", "lag", "last ms"
+    );
+    let rows = peers
+        .get("table")
+        .and_then(Value::as_array)
+        .unwrap_or_default();
+    for row in rows {
+        let field = |name: &str| row.get(name).and_then(Value::as_u64).unwrap_or(0);
+        let last = row
+            .get("last_exchange_ms")
+            .and_then(Value::as_u64)
+            .map(|ms| ms.to_string())
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "  {:<22} {:>6} {:>10} {:>10} {:>10} {:>6} {:>10}",
+            row.get("addr").and_then(Value::as_str).unwrap_or("?"),
+            if row.get("alive").and_then(Value::as_bool).unwrap_or(false) {
+                "up"
+            } else {
+                "DOWN"
+            },
+            field("exchanges"),
+            field("deltas_in"),
+            field("deltas_out"),
+            field("lag"),
+            last,
+        );
+    }
 }
 
 fn run_thread(addr: &str, method: &str, params: &Value, requests: usize) -> ThreadOutcome {

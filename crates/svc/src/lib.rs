@@ -17,10 +17,18 @@
 //! emits `svc_request`/`svc_response` trace events through the standard
 //! recorder pipeline.
 //!
+//! Daemons can form a replicated cluster: a background [`gossip`] loop
+//! exchanges per-shard digests with configured peers and ships missing
+//! verdicts as `minobs/wal/v1`-shaped deltas (convergent because bounds
+//! only tighten), while [`cluster_client::ClusterClient`] routes each
+//! key to its ring owner with failover. See `docs/CLUSTER.md`.
+//!
 //! See `docs/SERVICE.md` for the wire format and method reference.
 
 pub mod cache;
 pub mod client;
+pub mod cluster_client;
+pub mod gossip;
 pub mod loadgen;
 pub mod methods;
 pub mod server;
@@ -30,5 +38,6 @@ pub mod wire;
 
 pub use cache::VerdictCache;
 pub use client::{RetryPolicy, SvcClient, SvcError};
+pub use cluster_client::ClusterClient;
 pub use server::{serve, Limits, Server, ServerState, SvcConfig};
 pub use spec::ParsedScheme;

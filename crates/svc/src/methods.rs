@@ -63,6 +63,7 @@ pub fn handle(state: &ServerState, request: &Request) -> (Result<Value, RpcError
         "net_solvable" => (net_solvable(params), "none"),
         "simulate" => (simulate(params), "none"),
         "stats" => (Ok(stats(state)), "none"),
+        "gossip" => (crate::gossip::handle(state, params), "none"),
         "metrics" => (
             Ok(obj(&[(
                 "text",
@@ -612,9 +613,9 @@ fn parse_edge(entry: &Value) -> Result<(usize, usize), RpcError> {
     ))
 }
 
-/// `stats`: daemon uptime, pool size, queued depth, a full metrics
-/// snapshot (including the `svc.cache_*` counters), and per-method
-/// latency quantiles.
+/// `stats`: daemon uptime, pool size, queued depth, gossip peer health,
+/// a full metrics snapshot (including the `svc.cache_*` counters), and
+/// per-method latency quantiles.
 fn stats(state: &ServerState) -> Value {
     obj(&[
         ("uptime_ms", Value::from(state.uptime_ms())),
@@ -622,6 +623,7 @@ fn stats(state: &ServerState) -> Value {
         ("draining", Value::from(state.draining())),
         ("queued", Value::from(queued_depth(state))),
         ("cache_entries", Value::from(state.cache().entries() as u64)),
+        ("peers", state.peers_json()),
         ("latency", latency_summary(state)),
         ("metrics", state.registry().snapshot()),
     ])

@@ -15,10 +15,12 @@
 //! grace period to finish it before the socket closes.
 
 use crate::cache::VerdictCache;
+use crate::gossip::{self, GossipConfig};
 use crate::methods::{self, RpcError};
 use crate::wal::{CompactionPolicy, Wal, WalRecord};
 use crate::wire::{self, Request};
 use crossbeam::channel::{self, Receiver, Sender};
+use minobs_cluster::{LinkPolicy, PeerTable};
 use minobs_obs::{
     replay_event, JsonlSink, MemoryRecorder, MetricsRecorder, MetricsRegistry, Recorder, SpanGuard,
     SpanIds, TraceEvent,
@@ -81,6 +83,16 @@ pub struct SvcConfig {
     /// Where to persist verdicts (`minobs/wal/v1`); unset runs
     /// memory-only. See `docs/PERSISTENCE.md`.
     pub wal_path: Option<PathBuf>,
+    /// Cluster peers to gossip verdicts with (`host:port`); empty runs
+    /// single-node. See `docs/CLUSTER.md`.
+    pub peers: Vec<String>,
+    /// Time between anti-entropy rounds; each round exchanges digests
+    /// with one peer, round-robin.
+    pub gossip_interval: Duration,
+    /// Per-link fault injection for gossip rounds; production daemons
+    /// leave this unset (always deliver). Chaos harnesses install a
+    /// seeded policy here.
+    pub link_policy: Option<LinkPolicy>,
 }
 
 impl Default for SvcConfig {
@@ -92,6 +104,9 @@ impl Default for SvcConfig {
             limits: Limits::default(),
             trace_path: None,
             wal_path: None,
+            peers: Vec::new(),
+            gossip_interval: Duration::from_millis(500),
+            link_policy: None,
         }
     }
 }
@@ -108,8 +123,10 @@ impl SvcConfig {
     /// `MINOBS_SVC_WORKERS` (default: available parallelism, clamped to
     /// `[2, 16]`), `MINOBS_SVC_MAX_CONNS` (default 256, clamped to
     /// `[1, 4096]`), `MINOBS_SVC_TRACE` (a JSONL path; unset = no
-    /// trace), and `MINOBS_SVC_WAL` (a verdict-log path; unset = no
-    /// persistence).
+    /// trace), `MINOBS_SVC_WAL` (a verdict-log path; unset = no
+    /// persistence), `MINOBS_SVC_PEERS` (comma-separated `host:port`
+    /// cluster peers; unset = single-node), and `MINOBS_SVC_GOSSIP_MS`
+    /// (anti-entropy interval, default 500, clamped to `[10, 60000]`).
     pub fn from_env() -> SvcConfig {
         let mut config = SvcConfig::default();
         if let Ok(addr) = std::env::var("MINOBS_SVC_ADDR") {
@@ -135,6 +152,19 @@ impl SvcConfig {
         if let Ok(path) = std::env::var("MINOBS_SVC_WAL") {
             if !path.trim().is_empty() {
                 config.wal_path = Some(PathBuf::from(path.trim()));
+            }
+        }
+        if let Ok(peers) = std::env::var("MINOBS_SVC_PEERS") {
+            config.peers = peers
+                .split(',')
+                .map(str::trim)
+                .filter(|p| !p.is_empty())
+                .map(str::to_string)
+                .collect();
+        }
+        if let Ok(interval) = std::env::var("MINOBS_SVC_GOSSIP_MS") {
+            if let Ok(ms) = interval.trim().parse::<u64>() {
+                config.gossip_interval = Duration::from_millis(ms.clamp(10, 60_000));
             }
         }
         config
@@ -163,6 +193,8 @@ pub struct ServerState {
     wal: Mutex<Option<Wal>>,
     /// What startup replay found; `None` when persistence is off.
     replay: Option<crate::wal::ReplayReport>,
+    /// Gossip health per configured peer; empty in single-node mode.
+    peers: Mutex<PeerTable>,
 }
 
 impl ServerState {
@@ -185,6 +217,7 @@ impl ServerState {
             trace: Mutex::new(trace),
             wal: Mutex::new(None),
             replay: None,
+            peers: Mutex::new(PeerTable::new(&config.peers)),
         };
         state.open_wal(config)
     }
@@ -362,6 +395,42 @@ impl ServerState {
             let _ = sink.flush();
         }
     }
+
+    /// The `peers` section of `stats`: summary counters plus one row per
+    /// configured peer; `count: 0` with an empty table in single-node mode.
+    pub fn peers_json(&self) -> Value {
+        lock(&self.peers).to_json()
+    }
+
+    /// Folds one completed gossip exchange into the peer table, the
+    /// metrics, and the trace.
+    pub(crate) fn gossip_success(&self, peer: &str, sent: u64, received: u64, lag: u64, nanos: u64) {
+        lock(&self.peers).record_success(peer, sent, received, lag);
+        lock(&self.metrics).on_gossip_round(peer, sent, received, nanos);
+        if let TraceSink::File(sink) = &mut *lock(&self.trace) {
+            sink.on_gossip_round(peer, sent, received, nanos);
+        }
+    }
+
+    /// Records a failed gossip exchange; emits `peer_down` (once per
+    /// outage) on the round that crosses the failure threshold.
+    pub(crate) fn gossip_failure(&self, peer: &str) {
+        let down_edge = lock(&self.peers).record_failure(peer);
+        if let Some(failures) = down_edge {
+            lock(&self.metrics).on_peer_down(peer, failures);
+            if let TraceSink::File(sink) = &mut *lock(&self.trace) {
+                sink.on_peer_down(peer, failures);
+            }
+        }
+    }
+
+    /// Records one replicated delta's ingest outcome.
+    pub(crate) fn on_gossip_apply(&self, peer: &str, op: &'static str, key: &str, accepted: bool) {
+        lock(&self.metrics).on_gossip_apply(peer, op, key, accepted);
+        if let TraceSink::File(sink) = &mut *lock(&self.trace) {
+            sink.on_gossip_apply(peer, op, key, accepted);
+        }
+    }
 }
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -379,6 +448,7 @@ pub struct Server {
     local_addr: SocketAddr,
     state: Arc<ServerState>,
     acceptor: Option<JoinHandle<()>>,
+    gossip: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     job_tx: Option<Sender<Job>>,
 }
@@ -407,10 +477,24 @@ pub fn serve(config: SvcConfig) -> io::Result<Server> {
         thread::spawn(move || acceptor_loop(&listener, &st, &tx, max_connections))
     };
 
+    let gossip = if config.peers.is_empty() {
+        None
+    } else {
+        let st = Arc::clone(&state);
+        let gossip_config = GossipConfig {
+            self_addr: local_addr.to_string(),
+            peers: config.peers.clone(),
+            interval: config.gossip_interval,
+            link_policy: config.link_policy.clone(),
+        };
+        Some(thread::spawn(move || gossip::gossip_loop(&st, &gossip_config)))
+    };
+
     Ok(Server {
         local_addr,
         state,
         acceptor: Some(acceptor),
+        gossip,
         workers,
         job_tx: Some(job_tx),
     })
@@ -436,6 +520,9 @@ impl Server {
     pub fn join(mut self) {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
+        }
+        if let Some(gossip) = self.gossip.take() {
+            let _ = gossip.join();
         }
         // Acceptor (and all connection threads it joined) are gone; no
         // producer remains, so workers drain the queue and exit.
@@ -602,6 +689,7 @@ fn method_span(method: &str) -> &'static str {
         "simulate" => "rpc.simulate",
         "stats" => "rpc.stats",
         "metrics" => "rpc.metrics",
+        "gossip" => "rpc.gossip",
         "shutdown" => "rpc.shutdown",
         _ => "rpc.unknown",
     }

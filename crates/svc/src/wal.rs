@@ -433,6 +433,16 @@ impl Wal {
         cache: &VerdictCache,
         policy: CompactionPolicy,
     ) -> io::Result<(Wal, ReplayReport)> {
+        // A crash between compaction's `File::create(&tmp)` and its
+        // atomic rename strands `<path>.wal.tmp`; the half-written temp
+        // is dead weight (the rename never happened, so the real log is
+        // still authoritative) and would otherwise leak forever.
+        let stale = path.with_extension("wal.tmp");
+        match std::fs::remove_file(&stale) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
         let bytes = match File::open(path) {
             Ok(mut f) => {
                 let mut bytes = Vec::new();
@@ -811,6 +821,41 @@ mod tests {
             assert_eq!(report.records, 1);
             assert!(!report.dropped_tail);
             assert_eq!(cache.snapshot()[0].0, "b");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stale_compaction_tmp_is_removed_on_open() {
+        let dir = std::env::temp_dir().join(format!("minobs-wal-tmpleak-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("verdicts.wal");
+        let tmp = path.with_extension("wal.tmp");
+        let _ = std::fs::remove_file(&path);
+
+        // Life 1: write one real verdict.
+        {
+            let cache = cache();
+            let (mut wal, _) = Wal::open(&path, &cache, CompactionPolicy::default()).unwrap();
+            wal.append(&WalRecord::Horizon {
+                key: "a".to_string(),
+                k: 2,
+                solvable: true,
+            })
+            .unwrap();
+            wal.flush().unwrap();
+        }
+        // A crash mid-compaction stranded a half-written temp sibling.
+        std::fs::write(&tmp, b"MOBSWAL1half-written snapshot").unwrap();
+        assert!(tmp.exists());
+
+        // Life 2: reopening cleans it up and replays the real log intact.
+        {
+            let cache = cache();
+            let (_, report) = Wal::open(&path, &cache, CompactionPolicy::default()).unwrap();
+            assert!(!tmp.exists(), "stale .wal.tmp survived reopen");
+            assert_eq!(report.records, 1);
+            assert_eq!(cache.snapshot()[0].0, "a");
         }
         let _ = std::fs::remove_file(&path);
     }
