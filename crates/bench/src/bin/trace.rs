@@ -4,6 +4,7 @@
 //! trace profile <trace.jsonl> [--flamegraph OUT.folded]
 //! trace summary <trace.jsonl>
 //! trace diff <a.jsonl> <b.jsonl> [--threshold PCT]
+//! trace stitch <a.jsonl> <b.jsonl> ... [--flamegraph OUT.folded] [--strict]
 //! ```
 //!
 //! `profile` aggregates `span_start`/`span_end` pairs into per-name
@@ -19,6 +20,19 @@
 //! `diff` compares two profiles per span name; with `--threshold PCT`
 //! it exits non-zero when any span's total time regressed by more than
 //! that percentage, making it usable as a CI perf gate.
+//!
+//! `stitch` merges trace files from several nodes by `trace_id` and
+//! reconstructs each distributed request's cross-node span tree: a
+//! client call parents the serving daemon's `rpc.*` span, which parents
+//! the `gossip.exchange` that replicated its verdict, which parents the
+//! receiving daemon's `rpc.gossip` span. Spans are keyed by
+//! `(node_id, span_id)` — ids are only unique per node — and cross-node
+//! edges come from the `ctx_parent` field stamped on ctx-carrying root
+//! spans. Per trace it prints the tree and the critical path (the
+//! heaviest root-to-leaf chain), and `--flamegraph` writes collapsed
+//! `name@node` lines aggregated over every stitched trace. Orphan
+//! `ctx_parent` references are linted; `--strict` turns them (or an
+//! input with no traced spans) into a non-zero exit for CI.
 
 use serde_json::Value;
 use std::collections::BTreeMap;
@@ -26,7 +40,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  trace profile <trace.jsonl> [--flamegraph OUT.folded]\n  trace summary <trace.jsonl>\n  trace diff <a.jsonl> <b.jsonl> [--threshold PCT]"
+        "usage:\n  trace profile <trace.jsonl> [--flamegraph OUT.folded]\n  trace summary <trace.jsonl>\n  trace diff <a.jsonl> <b.jsonl> [--threshold PCT]\n  trace stitch <a.jsonl> <b.jsonl> ... [--flamegraph OUT.folded] [--strict]"
     );
     ExitCode::FAILURE
 }
@@ -41,6 +55,7 @@ fn main() -> ExitCode {
         Some("profile") => profile_cmd(&args[1..]),
         Some("summary") => summary_cmd(&args[1..]),
         Some("diff") => diff_cmd(&args[1..]),
+        Some("stitch") => stitch_cmd(&args[1..]),
         _ => usage(),
     }
 }
@@ -369,6 +384,374 @@ fn diff_cmd(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// One closed span as seen by `stitch`, with enough identity to resolve
+/// parents both locally (`local_parent`, same node) and across nodes
+/// (`ctx_parent`, the remote caller's span id carried in the rpc ctx).
+#[derive(Debug, Clone)]
+struct StitchSpan {
+    node: String,
+    span_id: u64,
+    name: String,
+    trace: Option<String>,
+    ctx_parent: Option<u64>,
+    local_parent: Option<u64>,
+    nanos: u64,
+}
+
+#[derive(Debug)]
+struct StitchedTrace {
+    trace_id: String,
+    spans: Vec<StitchSpan>,
+    children: Vec<Vec<usize>>,
+    roots: Vec<usize>,
+    nodes: Vec<String>,
+}
+
+#[derive(Debug, Default)]
+struct Stitched {
+    traces: Vec<StitchedTrace>,
+    untraced: usize,
+    orphans: Vec<String>,
+}
+
+/// Pair span_start/span_end events from one node's stream into closed
+/// spans. Spans without an explicit `trace_id` inherit the trace of the
+/// enclosing open span, so helper spans nested under a stamped rpc root
+/// stay attached to the distributed trace.
+fn collect_spans(fallback_node: &str, events: &[Value]) -> Result<Vec<StitchSpan>, String> {
+    struct Open {
+        span: StitchSpan,
+    }
+    let mut out = Vec::new();
+    let mut stack: Vec<Open> = Vec::new();
+    for (idx, event) in events.iter().enumerate() {
+        let line_no = idx + 1;
+        match event.get("event").and_then(Value::as_str) {
+            Some("span_start") => {
+                let span_id = event
+                    .get("span_id")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("line {line_no}: span_start without span_id"))?;
+                let name = event
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("line {line_no}: span_start without name"))?;
+                let node = event
+                    .get("node_id")
+                    .and_then(Value::as_str)
+                    .unwrap_or(fallback_node);
+                let trace = event
+                    .get("trace_id")
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .or_else(|| stack.last().and_then(|open| open.span.trace.clone()));
+                stack.push(Open {
+                    span: StitchSpan {
+                        node: node.to_string(),
+                        span_id,
+                        name: name.to_string(),
+                        trace,
+                        ctx_parent: event.get("ctx_parent").and_then(Value::as_u64),
+                        local_parent: event.get("parent").and_then(Value::as_u64),
+                        nanos: 0,
+                    },
+                });
+            }
+            Some("span_end") => {
+                let span_id = event
+                    .get("span_id")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("line {line_no}: span_end without span_id"))?;
+                let nanos = event
+                    .get("nanos")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("line {line_no}: span_end without nanos"))?;
+                let mut open = stack
+                    .pop()
+                    .ok_or_else(|| format!("line {line_no}: span_end without span_start"))?;
+                if open.span.span_id != span_id {
+                    return Err(format!(
+                        "line {line_no}: span_end {span_id} crosses open span {} — run trace_lint",
+                        open.span.span_id
+                    ));
+                }
+                open.span.nanos = nanos;
+                out.push(open.span);
+            }
+            _ => {}
+        }
+    }
+    if let Some(open) = stack.last() {
+        return Err(format!(
+            "{} span(s) still open at end of trace (innermost: {} {:?}) — run trace_lint",
+            stack.len(),
+            open.span.span_id,
+            open.span.name
+        ));
+    }
+    Ok(out)
+}
+
+/// Merge per-node span streams into cross-node trace trees. `files` is
+/// one entry per input stream: a fallback node label (used when lines
+/// carry no `node_id`) and the stream's parsed events.
+fn stitch(files: &[(String, Vec<Value>)]) -> Result<Stitched, String> {
+    let mut by_trace: BTreeMap<String, Vec<StitchSpan>> = BTreeMap::new();
+    let mut out = Stitched::default();
+    for (fallback_node, events) in files {
+        for span in collect_spans(fallback_node, events)? {
+            match &span.trace {
+                Some(trace) => by_trace.entry(trace.clone()).or_default().push(span),
+                None => out.untraced += 1,
+            }
+        }
+    }
+    for (trace_id, spans) in by_trace {
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+        let mut roots = Vec::new();
+        let mut nodes: Vec<String> = Vec::new();
+        for span in &spans {
+            if !nodes.contains(&span.node) {
+                nodes.push(span.node.clone());
+            }
+        }
+        for (idx, span) in spans.iter().enumerate() {
+            let parent = if let Some(local) = span.local_parent {
+                // Local edge: the parent lives in the same node's stream.
+                let found = spans
+                    .iter()
+                    .position(|s| s.node == span.node && s.span_id == local);
+                if found.is_none() {
+                    out.orphans.push(format!(
+                        "trace {trace_id}: span {} ({}) on {} references local parent {local} (not found)",
+                        span.span_id, span.name, span.node
+                    ));
+                }
+                found
+            } else if let Some(remote) = span.ctx_parent {
+                // Cross-node edge: prefer a same-node match (e.g. the
+                // gossip.exchange span parented on its own rpc root),
+                // then a unique remote match.
+                let candidates: Vec<usize> = spans
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, s)| *i != idx && s.span_id == remote)
+                    .map(|(i, _)| i)
+                    .collect();
+                let same_node = candidates
+                    .iter()
+                    .copied()
+                    .find(|&i| spans[i].node == span.node);
+                let found = same_node.or_else(|| candidates.first().copied());
+                match found {
+                    None => out.orphans.push(format!(
+                        "trace {trace_id}: span {} ({}) on {} references ctx_parent {remote} (not found)",
+                        span.span_id, span.name, span.node
+                    )),
+                    Some(_) if candidates.len() > 1 && same_node.is_none() => {
+                        out.orphans.push(format!(
+                            "trace {trace_id}: span {} ({}) on {} has ambiguous ctx_parent {remote} ({} candidates)",
+                            span.span_id, span.name, span.node, candidates.len()
+                        ));
+                    }
+                    Some(_) => {}
+                }
+                found
+            } else {
+                None
+            };
+            match parent {
+                Some(p) => children[p].push(idx),
+                None => roots.push(idx),
+            }
+        }
+        out.traces.push(StitchedTrace {
+            trace_id,
+            spans,
+            children,
+            roots,
+            nodes,
+        });
+    }
+    Ok(out)
+}
+
+impl StitchedTrace {
+    /// The heaviest root-to-leaf chain: start from the root with the
+    /// largest duration and always descend into the heaviest child.
+    fn critical_path(&self) -> Vec<usize> {
+        let mut path = Vec::new();
+        let heaviest = |indices: &[usize]| -> Option<usize> {
+            indices.iter().copied().max_by_key(|&i| self.spans[i].nanos)
+        };
+        let mut cursor = heaviest(&self.roots);
+        while let Some(idx) = cursor {
+            if path.contains(&idx) {
+                break; // cycle guard: malformed parent refs must not hang us
+            }
+            path.push(idx);
+            cursor = heaviest(&self.children[idx]);
+        }
+        path
+    }
+
+    /// Collapsed flamegraph lines (`name@node;...` → self nanos) for
+    /// this trace's tree. Remote children overlap the parent's wall
+    /// time just like local ones, so self time saturates at zero.
+    fn folded_into(&self, folded: &mut BTreeMap<String, u64>) {
+        fn walk(
+            trace: &StitchedTrace,
+            idx: usize,
+            prefix: &str,
+            folded: &mut BTreeMap<String, u64>,
+        ) {
+            let span = &trace.spans[idx];
+            let path = if prefix.is_empty() {
+                format!("{}@{}", span.name, span.node)
+            } else {
+                format!("{prefix};{}@{}", span.name, span.node)
+            };
+            let in_children: u64 = trace.children[idx]
+                .iter()
+                .map(|&c| trace.spans[c].nanos)
+                .sum();
+            *folded.entry(path.clone()).or_default() += span.nanos.saturating_sub(in_children);
+            for &child in &trace.children[idx] {
+                walk(trace, child, &path, folded);
+            }
+        }
+        for &root in &self.roots {
+            walk(self, root, "", folded);
+        }
+    }
+}
+
+fn print_tree(trace: &StitchedTrace, idx: usize, depth: usize) {
+    let span = &trace.spans[idx];
+    println!(
+        "  {:indent$}{} [{}] {:.3} ms",
+        "",
+        span.name,
+        span.node,
+        ms(span.nanos),
+        indent = depth * 2
+    );
+    for &child in &trace.children[idx] {
+        print_tree(trace, child, depth + 1);
+    }
+}
+
+fn stitch_cmd(args: &[String]) -> ExitCode {
+    let mut paths = Vec::new();
+    let mut flamegraph = None;
+    let mut strict = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--flamegraph" => match it.next() {
+                Some(out) => flamegraph = Some(out.to_string()),
+                None => return usage(),
+            },
+            "--strict" => strict = true,
+            text => paths.push(text.to_string()),
+        }
+    }
+    if paths.is_empty() {
+        return usage();
+    }
+    let mut files = Vec::new();
+    for path in &paths {
+        let events = match read_events(path) {
+            Ok(events) => events,
+            Err(err) => {
+                eprintln!("trace stitch: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // Fall back to the file stem as the node label when the stream
+        // predates node_id stamping.
+        let stem = std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or(path.as_str())
+            .to_string();
+        files.push((stem, events));
+    }
+    let stitched = match stitch(&files) {
+        Ok(stitched) => stitched,
+        Err(err) => {
+            eprintln!("trace stitch: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let traced: usize = stitched.traces.iter().map(|t| t.spans.len()).sum();
+    println!(
+        "trace stitch: {} file(s), {} trace(s), {} traced span(s), {} untraced span(s) skipped",
+        files.len(),
+        stitched.traces.len(),
+        traced,
+        stitched.untraced
+    );
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for trace in &stitched.traces {
+        println!(
+            "trace {} — {} span(s) across {} node(s): {}",
+            trace.trace_id,
+            trace.spans.len(),
+            trace.nodes.len(),
+            trace.nodes.join(", ")
+        );
+        for &root in &trace.roots {
+            print_tree(trace, root, 0);
+        }
+        let path = trace.critical_path();
+        if !path.is_empty() {
+            let hops: Vec<String> = path
+                .iter()
+                .map(|&i| {
+                    let span = &trace.spans[i];
+                    format!("{}@{} ({:.3} ms)", span.name, span.node, ms(span.nanos))
+                })
+                .collect();
+            let crossed: std::collections::BTreeSet<&str> = path
+                .iter()
+                .map(|&i| trace.spans[i].node.as_str())
+                .collect();
+            println!(
+                "  critical path: {} — {} hop(s), {} node(s)",
+                hops.join(" → "),
+                path.len(),
+                crossed.len()
+            );
+        }
+        trace.folded_into(&mut folded);
+    }
+    for orphan in &stitched.orphans {
+        eprintln!("trace stitch: warning: orphan parent reference: {orphan}");
+    }
+    if let Some(out) = flamegraph {
+        let mut text = String::new();
+        for (path, self_ns) in &folded {
+            text.push_str(&format!("{path} {self_ns}\n"));
+        }
+        if let Err(err) = std::fs::write(&out, text) {
+            eprintln!("trace stitch: write {out}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote folded flamegraph: {out}");
+    }
+    if strict && (!stitched.orphans.is_empty() || traced == 0) {
+        eprintln!(
+            "trace stitch: strict: {} orphan(s), {} traced span(s)",
+            stitched.orphans.len(),
+            traced
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -428,5 +811,135 @@ mod tests {
         let prof = profile(&events).unwrap();
         assert_eq!(prof.wall_ns, 100);
         assert_eq!(prof.root_ns, 90);
+    }
+
+    /// Two-node fixture mirroring a real replicated request: the client
+    /// trace T parents node a's rpc root, node a's gossip.exchange is
+    /// ctx-parented on that root, and node b's rpc.gossip is
+    /// ctx-parented on the exchange span.
+    fn two_node_files() -> Vec<(String, Vec<Value>)> {
+        let node_a = vec![
+            event(
+                r#"{"event":"span_start","round":0,"span_id":0,"parent":null,"name":"rpc.check_horizon","trace_id":"000000000000000000000000000000aa","node_id":"a"}"#,
+            ),
+            event(
+                r#"{"event":"span_start","round":0,"span_id":1,"parent":0,"name":"check.eval","node_id":"a"}"#,
+            ),
+            event(r#"{"event":"span_end","round":0,"span_id":1,"name":"check.eval","nanos":400,"node_id":"a"}"#),
+            event(r#"{"event":"span_end","round":0,"span_id":0,"name":"rpc.check_horizon","nanos":1000,"node_id":"a"}"#),
+            event(
+                r#"{"event":"span_start","round":0,"span_id":1048576,"parent":null,"name":"gossip.exchange","trace_id":"000000000000000000000000000000aa","ctx_parent":0,"node_id":"a"}"#,
+            ),
+            event(r#"{"event":"span_end","round":0,"span_id":1048576,"name":"gossip.exchange","nanos":800,"node_id":"a"}"#),
+        ];
+        let node_b = vec![event(
+            r#"{"event":"span_start","round":0,"span_id":0,"parent":null,"name":"rpc.gossip","trace_id":"000000000000000000000000000000aa","ctx_parent":1048576,"node_id":"b"}"#,
+        ), event(
+            r#"{"event":"span_end","round":0,"span_id":0,"name":"rpc.gossip","nanos":300,"node_id":"b"}"#,
+        )];
+        vec![("a".to_string(), node_a), ("b".to_string(), node_b)]
+    }
+
+    #[test]
+    fn stitch_reconstructs_cross_node_parent_chain() {
+        let stitched = stitch(&two_node_files()).unwrap();
+        assert_eq!(stitched.untraced, 0);
+        assert!(stitched.orphans.is_empty(), "{:?}", stitched.orphans);
+        assert_eq!(stitched.traces.len(), 1);
+        let trace = &stitched.traces[0];
+        assert_eq!(trace.trace_id, "000000000000000000000000000000aa");
+        assert_eq!(trace.spans.len(), 4);
+        assert_eq!(trace.nodes, vec!["a".to_string(), "b".to_string()]);
+
+        // Single root: node a's rpc span; the rest chain off it.
+        assert_eq!(trace.roots.len(), 1);
+        let root = trace.roots[0];
+        assert_eq!(trace.spans[root].name, "rpc.check_horizon");
+        let find = |name: &str| trace.spans.iter().position(|s| s.name == name).unwrap();
+        let (eval, exchange, gossip) = (
+            find("check.eval"),
+            find("gossip.exchange"),
+            find("rpc.gossip"),
+        );
+        // rpc root parents both the nested helper span (local edge) and
+        // the gossip.exchange (same-node ctx edge); the exchange parents
+        // the remote rpc.gossip (cross-node ctx edge).
+        let mut under_root = trace.children[root].clone();
+        under_root.sort_unstable();
+        let mut expected = vec![eval, exchange];
+        expected.sort_unstable();
+        assert_eq!(under_root, expected);
+        assert_eq!(trace.children[exchange], vec![gossip]);
+
+        // Critical path follows the heaviest chain across both nodes.
+        let path = trace.critical_path();
+        let names: Vec<&str> = path.iter().map(|&i| trace.spans[i].name.as_str()).collect();
+        assert_eq!(names, vec!["rpc.check_horizon", "gossip.exchange", "rpc.gossip"]);
+        let nodes: std::collections::BTreeSet<&str> =
+            path.iter().map(|&i| trace.spans[i].node.as_str()).collect();
+        assert_eq!(nodes.len(), 2);
+
+        // Folded paths carry the node label and saturating self time.
+        let mut folded = BTreeMap::new();
+        trace.folded_into(&mut folded);
+        // Remote child time (800) overlaps the root's 600 ns of local
+        // self time, so the saturating subtraction bottoms out at zero.
+        assert_eq!(folded["rpc.check_horizon@a"], 0);
+        assert_eq!(folded["rpc.check_horizon@a;check.eval@a"], 400);
+        assert_eq!(
+            folded["rpc.check_horizon@a;gossip.exchange@a;rpc.gossip@b"],
+            300
+        );
+    }
+
+    #[test]
+    fn stitch_lints_orphan_parent_refs() {
+        let files = vec![(
+            "b".to_string(),
+            vec![
+                event(
+                    r#"{"event":"span_start","round":0,"span_id":0,"parent":null,"name":"rpc.gossip","trace_id":"000000000000000000000000000000aa","ctx_parent":999,"node_id":"b"}"#,
+                ),
+                event(
+                    r#"{"event":"span_end","round":0,"span_id":0,"name":"rpc.gossip","nanos":300,"node_id":"b"}"#,
+                ),
+            ],
+        )];
+        let stitched = stitch(&files).unwrap();
+        assert_eq!(stitched.orphans.len(), 1);
+        assert!(stitched.orphans[0].contains("ctx_parent 999"));
+        // The orphan still renders: it is promoted to a root.
+        assert_eq!(stitched.traces[0].roots, vec![0]);
+    }
+
+    #[test]
+    fn stitch_inherits_trace_from_enclosing_span_and_skips_untraced() {
+        let files = vec![(
+            "a".to_string(),
+            vec![
+                event(r#"{"event":"span_start","round":0,"span_id":0,"parent":null,"name":"rpc.stats"}"#),
+                event(r#"{"event":"span_end","round":0,"span_id":0,"name":"rpc.stats","nanos":10}"#),
+                event(
+                    r#"{"event":"span_start","round":0,"span_id":5,"parent":null,"name":"rpc.check","trace_id":"000000000000000000000000000000bb"}"#,
+                ),
+                event(r#"{"event":"span_start","round":0,"span_id":6,"parent":5,"name":"inner"}"#),
+                event(r#"{"event":"span_end","round":0,"span_id":6,"name":"inner","nanos":4}"#),
+                event(r#"{"event":"span_end","round":0,"span_id":5,"name":"rpc.check","nanos":9}"#),
+            ],
+        )];
+        let stitched = stitch(&files).unwrap();
+        // The un-stamped rpc.stats span is not part of any trace.
+        assert_eq!(stitched.untraced, 1);
+        let trace = &stitched.traces[0];
+        // inner inherited trace bb from its enclosing span and hangs off
+        // the root via its local parent edge; node fell back to the
+        // stream label because no line carried node_id.
+        assert_eq!(trace.spans.len(), 2);
+        assert_eq!(trace.nodes, vec!["a".to_string()]);
+        assert_eq!(trace.roots.len(), 1);
+        let root = trace.roots[0];
+        assert_eq!(trace.spans[root].name, "rpc.check");
+        assert_eq!(trace.children[root].len(), 1);
+        assert_eq!(trace.spans[trace.children[root][0]].name, "inner");
     }
 }

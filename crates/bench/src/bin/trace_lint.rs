@@ -20,7 +20,14 @@
 //!    daemon traces get one stream-wide scope), spans bracket properly
 //!    (a `span_end` always closes the innermost open span, and a
 //!    declared `parent` is exactly that enclosing span), and nothing is
-//!    left open at end of file.
+//!    left open at end of file;
+//! 6. distributed-trace fields are well formed: a `span_start`
+//!    `trace_id` is 32 lowercase hex digits and nonzero, `ctx_parent`
+//!    only appears alongside a `trace_id` (a remote parent is
+//!    meaningless without the trace it belongs to), a line-level
+//!    `node_id` is a non-empty string and consistent across the whole
+//!    stream (one file is one node's trace), and `health` events carry a
+//!    known status (`ok`/`degraded`) with boolean `ready`/`live` probes.
 //!
 //! When handed a file that parses as a single JSON object under the
 //! `minobs/bench/v1` schema instead of a JSONL trace, it validates the
@@ -63,6 +70,8 @@ fn lint(text: &str) -> Result<(usize, usize), String> {
     // Open profiling spans, innermost last: (span_id, name).
     let mut span_stack: Vec<(u64, String)> = Vec::new();
     let mut span_ids_seen: HashSet<u64> = HashSet::new();
+    // First node_id seen: one trace file is one node's stream.
+    let mut node_seen: Option<String> = None;
 
     for (idx, line) in text.lines().enumerate() {
         let line_no = idx + 1;
@@ -85,6 +94,21 @@ fn lint(text: &str) -> Result<(usize, usize), String> {
             .and_then(Value::as_str)
             .ok_or_else(|| format!("line {line_no}: missing \"event\""))?;
         field_u64(&value, "round", line_no)?;
+        if let Some(node) = value.get("node_id") {
+            let node = node
+                .as_str()
+                .filter(|s| !s.is_empty())
+                .ok_or_else(|| format!("line {line_no}: node_id must be a non-empty string"))?;
+            match &node_seen {
+                Some(seen) if seen != node => {
+                    return Err(format!(
+                        "line {line_no}: node_id {node:?} != {seen:?} seen earlier — one trace file is one node's stream"
+                    ));
+                }
+                Some(_) => {}
+                None => node_seen = Some(node.to_string()),
+            }
+        }
         lines_checked += 1;
 
         match event {
@@ -235,6 +259,34 @@ fn lint(text: &str) -> Result<(usize, usize), String> {
                     .get("name")
                     .and_then(Value::as_str)
                     .ok_or_else(|| format!("line {line_no}: span_start missing \"name\""))?;
+                let trace_id = value.get("trace_id");
+                if let Some(trace) = trace_id {
+                    let trace = trace.as_str().ok_or_else(|| {
+                        format!("line {line_no}: trace_id must be a string")
+                    })?;
+                    let lower_hex = trace.len() == 32
+                        && trace
+                            .bytes()
+                            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b));
+                    if !lower_hex {
+                        return Err(format!(
+                            "line {line_no}: trace_id {trace:?} is not 32 lowercase hex digits"
+                        ));
+                    }
+                    if trace.bytes().all(|b| b == b'0') {
+                        return Err(format!(
+                            "line {line_no}: trace_id is zero — TraceContext::root never mints it"
+                        ));
+                    }
+                }
+                if value.get("ctx_parent").is_some() {
+                    field_u64(&value, "ctx_parent", line_no)?;
+                    if trace_id.is_none() {
+                        return Err(format!(
+                            "line {line_no}: ctx_parent without trace_id — a remote parent only means something inside a trace"
+                        ));
+                    }
+                }
                 if !span_ids_seen.insert(span_id) {
                     return Err(format!(
                         "line {line_no}: span id {span_id} reused (ids must be unique within a run)"
@@ -346,6 +398,22 @@ fn lint(text: &str) -> Result<(usize, usize), String> {
                     .and_then(Value::as_str)
                     .ok_or_else(|| format!("line {line_no}: peer_down missing \"peer\""))?;
                 field_u64(&value, "failures", line_no)?;
+            }
+            "health" => {
+                let status = value
+                    .get("status")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("line {line_no}: health missing \"status\""))?;
+                if !matches!(status, "ok" | "degraded") {
+                    return Err(format!(
+                        "line {line_no}: health status {status:?}, expected ok/degraded"
+                    ));
+                }
+                for probe in ["ready", "live"] {
+                    value.get(probe).and_then(Value::as_bool).ok_or_else(|| {
+                        format!("line {line_no}: health missing boolean {probe:?}")
+                    })?;
+                }
             }
             // decision/span/checker_round/checker_progress/horizon need no
             // cross-checks here.
@@ -714,6 +782,74 @@ mod tests {
 
         let no_failures = line(r#"{"schema":"SCHEMA","event":"peer_down","round":0,"peer":"p"}"#);
         assert!(lint(&no_failures).unwrap_err().contains("failures"));
+    }
+
+    #[test]
+    fn validates_distributed_trace_fields() {
+        // A ctx-stamped root span plus a ctx-parented gossip root, all
+        // on one node, with a health edge — the shape a daemon emits.
+        let ok = [
+            r#"{"schema":"SCHEMA","event":"span_start","round":0,"span_id":0,"parent":null,"name":"rpc.check","trace_id":"00000000000000000000000000000abc","node_id":"n1"}"#,
+            r#"{"schema":"SCHEMA","event":"span_end","round":0,"span_id":0,"name":"rpc.check","nanos":10,"node_id":"n1"}"#,
+            r#"{"schema":"SCHEMA","event":"span_start","round":0,"span_id":1048576,"parent":null,"name":"gossip.exchange","trace_id":"00000000000000000000000000000abc","ctx_parent":0,"node_id":"n1"}"#,
+            r#"{"schema":"SCHEMA","event":"span_end","round":0,"span_id":1048576,"name":"gossip.exchange","nanos":5,"node_id":"n1"}"#,
+            r#"{"schema":"SCHEMA","event":"health","round":0,"status":"ok","ready":true,"live":true,"node_id":"n1"}"#,
+        ]
+        .map(line)
+        .join("\n");
+        assert_eq!(lint(&ok), Ok((5, 0)));
+
+        let short_trace = line(
+            r#"{"schema":"SCHEMA","event":"span_start","round":0,"span_id":0,"parent":null,"name":"a","trace_id":"abc"}"#,
+        );
+        assert!(lint(&short_trace).unwrap_err().contains("32 lowercase hex"));
+
+        let upper_trace = line(
+            r#"{"schema":"SCHEMA","event":"span_start","round":0,"span_id":0,"parent":null,"name":"a","trace_id":"00000000000000000000000000000ABC"}"#,
+        );
+        assert!(lint(&upper_trace).unwrap_err().contains("32 lowercase hex"));
+
+        let zero_trace = line(
+            r#"{"schema":"SCHEMA","event":"span_start","round":0,"span_id":0,"parent":null,"name":"a","trace_id":"00000000000000000000000000000000"}"#,
+        );
+        assert!(lint(&zero_trace).unwrap_err().contains("zero"));
+
+        let bare_ctx_parent = line(
+            r#"{"schema":"SCHEMA","event":"span_start","round":0,"span_id":0,"parent":null,"name":"a","ctx_parent":7}"#,
+        );
+        assert!(lint(&bare_ctx_parent)
+            .unwrap_err()
+            .contains("ctx_parent without trace_id"));
+    }
+
+    #[test]
+    fn validates_node_id_and_health_events() {
+        let empty_node =
+            line(r#"{"schema":"SCHEMA","event":"health","round":0,"status":"ok","ready":true,"live":true,"node_id":""}"#);
+        assert!(lint(&empty_node).unwrap_err().contains("non-empty"));
+
+        let mixed_nodes = [
+            r#"{"schema":"SCHEMA","event":"health","round":0,"status":"ok","ready":true,"live":true,"node_id":"n1"}"#,
+            r#"{"schema":"SCHEMA","event":"health","round":0,"status":"ok","ready":true,"live":true,"node_id":"n2"}"#,
+        ]
+        .map(line)
+        .join("\n");
+        assert!(lint(&mixed_nodes)
+            .unwrap_err()
+            .contains("one trace file is one node's stream"));
+
+        let bad_status = line(
+            r#"{"schema":"SCHEMA","event":"health","round":0,"status":"meh","ready":true,"live":true}"#,
+        );
+        assert!(lint(&bad_status).unwrap_err().contains("status"));
+
+        let no_ready =
+            line(r#"{"schema":"SCHEMA","event":"health","round":0,"status":"ok","live":true}"#);
+        assert!(lint(&no_ready).unwrap_err().contains("ready"));
+
+        let no_live =
+            line(r#"{"schema":"SCHEMA","event":"health","round":0,"status":"ok","ready":true}"#);
+        assert!(lint(&no_live).unwrap_err().contains("live"));
     }
 
     #[test]

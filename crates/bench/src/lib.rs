@@ -179,7 +179,8 @@ impl Report {
 }
 
 /// The provenance block embedded in every artifact: wall-clock timestamp,
-/// toolchain version, host name, machine parallelism, and (when tracing
+/// toolchain version, host name, machine parallelism, stable node
+/// identity (`MINOBS_NODE_ID`, default `"local"`), and (when tracing
 /// was on) the JSONL trace the run produced.
 pub fn artifact_meta(trace: Option<&Path>) -> Value {
     let mut meta = Map::new();
@@ -205,6 +206,12 @@ pub fn artifact_meta(trace: Option<&Path>) -> Value {
             Some(path) => Value::from(path.display().to_string()),
             None => Value::Null,
         },
+    );
+    // Stable node identity, so multi-node artifacts group the same way
+    // multi-node traces do (`MINOBS_NODE_ID`; `"local"` off-cluster).
+    meta.insert(
+        "node_id",
+        Value::from(minobs_obs::node_id_from_env("local")),
     );
     Value::Object(meta)
 }

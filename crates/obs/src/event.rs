@@ -125,6 +125,15 @@ pub enum TraceEvent {
         parent: Option<u64>,
         /// Stable section name, e.g. `"checker_expand"`.
         name: String,
+        /// Distributed trace id this span belongs to, when the request
+        /// carried a [`crate::TraceContext`]. Serialised as 32 lowercase
+        /// hex digits; absent on purely local spans.
+        trace_id: Option<u128>,
+        /// Span id on the *sending* node this root span is parented
+        /// under. Only meaningful together with `trace_id`; resolved by
+        /// `trace stitch`, never by in-process tooling (the local
+        /// `parent` chain stays self-contained).
+        ctx_parent: Option<u64>,
     },
     /// A profiling span closed, with its measured duration.
     SpanEnd {
@@ -282,6 +291,18 @@ pub enum TraceEvent {
         /// Consecutive failed exchanges at the moment of marking.
         failures: u64,
     },
+    /// The daemon's health verdict changed (edge-triggered: emitted on
+    /// every flip, not every evaluation). `round` is always 0.
+    Health {
+        /// Overall status: `"ok"` or `"degraded"`.
+        status: String,
+        /// Whether the node should receive traffic (queue has headroom,
+        /// not draining, not cut off from all peers).
+        ready: bool,
+        /// Whether the process is up at all (always `true` from a
+        /// running daemon; the field exists so probes share one shape).
+        live: bool,
+    },
 }
 
 impl TraceEvent {
@@ -309,6 +330,7 @@ impl TraceEvent {
             TraceEvent::GossipRound { .. } => "gossip_round",
             TraceEvent::GossipApply { .. } => "gossip_apply",
             TraceEvent::PeerDown { .. } => "peer_down",
+            TraceEvent::Health { .. } => "health",
         }
     }
 
@@ -324,7 +346,8 @@ impl TraceEvent {
             | TraceEvent::WalDegraded { .. }
             | TraceEvent::GossipRound { .. }
             | TraceEvent::GossipApply { .. }
-            | TraceEvent::PeerDown { .. } => 0,
+            | TraceEvent::PeerDown { .. }
+            | TraceEvent::Health { .. } => 0,
             TraceEvent::Message { round, .. }
             | TraceEvent::Decision { round, .. }
             | TraceEvent::RoundEnd { round, .. }
@@ -383,6 +406,8 @@ impl TraceEvent {
                 span_id,
                 parent,
                 name,
+                trace_id,
+                ctx_parent,
                 ..
             } => {
                 map.insert("span_id".to_string(), Value::from(*span_id));
@@ -391,6 +416,15 @@ impl TraceEvent {
                     parent.map_or(Value::Null, Value::from),
                 );
                 map.insert("name".to_string(), Value::from(name.as_str()));
+                // Additive distributed-tracing fields: only present when
+                // the request carried a context, so uninstrumented
+                // streams are byte-identical to pre-ctx traces.
+                if let Some(id) = trace_id {
+                    map.insert("trace_id".to_string(), Value::from(format!("{id:032x}")));
+                }
+                if let Some(ctx_parent) = ctx_parent {
+                    map.insert("ctx_parent".to_string(), Value::from(*ctx_parent));
+                }
             }
             TraceEvent::SpanEnd {
                 span_id,
@@ -498,6 +532,11 @@ impl TraceEvent {
                 map.insert("peer".to_string(), Value::from(peer.as_str()));
                 map.insert("failures".to_string(), Value::from(*failures));
             }
+            TraceEvent::Health { status, ready, live } => {
+                map.insert("status".to_string(), Value::from(status.as_str()));
+                map.insert("ready".to_string(), Value::from(*ready));
+                map.insert("live".to_string(), Value::from(*live));
+            }
         }
         Value::Object(map)
     }
@@ -556,6 +595,8 @@ mod tests {
                 span_id: 0,
                 parent: None,
                 name: "net_send".to_string(),
+                trace_id: Some(0x0af7_6519_16cd_43dd_8448_eb21_1c80_319c),
+                ctx_parent: Some(12),
             },
             TraceEvent::SpanEnd {
                 round: 1,
@@ -634,6 +675,11 @@ mod tests {
                 peer: "127.0.0.1:7402".to_string(),
                 failures: 3,
             },
+            TraceEvent::Health {
+                status: "degraded".to_string(),
+                ready: false,
+                live: true,
+            },
         ];
         for event in &events {
             let json = event.to_json();
@@ -675,18 +721,62 @@ mod tests {
             span_id: 3,
             parent: None,
             name: "net_send".to_string(),
+            trace_id: None,
+            ctx_parent: None,
         };
         assert_eq!(root.to_json().get("parent"), Some(&Value::Null));
+        // Local spans without a context stay byte-identical to pre-ctx
+        // traces: no trace_id/ctx_parent keys at all.
+        assert_eq!(root.to_json().get("trace_id"), None);
+        assert_eq!(root.to_json().get("ctx_parent"), None);
 
         let child = TraceEvent::SpanStart {
             round: 0,
             span_id: 4,
             parent: Some(3),
             name: "net_send".to_string(),
+            trace_id: None,
+            ctx_parent: None,
         };
         let json = child.to_json();
         assert_eq!(json.get("parent").and_then(Value::as_u64), Some(3));
         assert_eq!(json.get("span_id").and_then(Value::as_u64), Some(4));
+    }
+
+    #[test]
+    fn span_start_serialises_trace_context_as_hex_and_parent_id() {
+        let stamped = TraceEvent::SpanStart {
+            round: 0,
+            span_id: 5,
+            parent: None,
+            name: "rpc.check_horizon".to_string(),
+            trace_id: Some(0xabc),
+            ctx_parent: Some(17),
+        };
+        let json = stamped.to_json();
+        assert_eq!(
+            json.get("trace_id").and_then(Value::as_str),
+            Some("00000000000000000000000000000abc")
+        );
+        assert_eq!(json.get("ctx_parent").and_then(Value::as_u64), Some(17));
+        // The local parent stays null: the remote edge lives only in
+        // ctx_parent and is resolved by `trace stitch`.
+        assert_eq!(json.get("parent"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn health_serialises_status_and_probe_booleans() {
+        let event = TraceEvent::Health {
+            status: "ok".to_string(),
+            ready: true,
+            live: true,
+        };
+        let json = event.to_json();
+        assert_eq!(json.get("event").and_then(Value::as_str), Some("health"));
+        assert_eq!(json.get("status").and_then(Value::as_str), Some("ok"));
+        assert_eq!(json.get("ready").and_then(Value::as_bool), Some(true));
+        assert_eq!(json.get("live").and_then(Value::as_bool), Some(true));
+        assert_eq!(json.get("round").and_then(Value::as_u64), Some(0));
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! `MINOBS_TRACE` / `MINOBS_EXP_DIR` environment knobs.
 
 pub mod bench;
+mod ctx;
 mod event;
 mod metrics;
 mod recorder;
@@ -31,6 +32,7 @@ mod sink;
 mod span;
 
 pub use bench::{validate_bench_artifact, BENCH_SCHEMA};
+pub use ctx::{node_id_from_env, stamp_root_span, TraceContext};
 pub use event::{MessageStatus, RoundCounts, TraceEvent, SCHEMA};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRecorder, MetricsRegistry};
 pub use recorder::{replay_event, MemoryRecorder, NullRecorder, Recorder, TeeRecorder};

@@ -88,16 +88,21 @@ impl Histogram {
 
     /// Upper bounds suited to round/horizon latencies, 1µs .. 10s.
     pub fn latency_bounds() -> Vec<u64> {
-        // Powers of ten in nanoseconds with 1-3 subdivisions, capped at
-        // the documented 10 s upper bound.
+        // Powers of ten in nanoseconds with 1-2-5 subdivisions, capped
+        // at the documented 10 s upper bound. The 1-2-5 ladder keeps the
+        // worst-case quantile error at 2.5× instead of the 3.33× a 1-3
+        // ladder allows — tight enough that p95/p99 stop collapsing onto
+        // the same bucket under service-shaped latency distributions.
         const MAX_BOUND: u64 = 10_000_000_000;
         let mut bounds = Vec::new();
         let mut decade: u64 = 1_000;
         while decade <= MAX_BOUND {
             bounds.push(decade);
-            let three = decade.saturating_mul(3);
-            if three <= MAX_BOUND {
-                bounds.push(three);
+            for step in [2u64, 5] {
+                let bound = decade.saturating_mul(step);
+                if bound <= MAX_BOUND {
+                    bounds.push(bound);
+                }
             }
             decade = decade.saturating_mul(10);
         }
@@ -220,6 +225,42 @@ impl Histogram {
         );
         map.insert("buckets".to_string(), Value::from(self.bucket_counts()));
         Value::Object(map)
+    }
+
+    /// Rebuilds a histogram from its snapshot JSON (`{count, sum,
+    /// bounds, buckets}`, as emitted inside `MetricsRegistry::snapshot`).
+    /// Returns `None` on any shape mismatch: missing fields, a bucket
+    /// list that does not cover the bounds plus overflow, or
+    /// non-ascending bounds. Fleet tooling uses this to pull per-node
+    /// snapshots over RPC and fold them together with [`merge_from`]
+    /// (same-bounds quantile semantics as one shared histogram).
+    ///
+    /// [`merge_from`]: Histogram::merge_from
+    pub fn from_snapshot(value: &Value) -> Option<Histogram> {
+        let list = |field: &str| -> Option<Vec<u64>> {
+            value
+                .get(field)?
+                .as_array()?
+                .iter()
+                .map(Value::as_u64)
+                .collect()
+        };
+        let bounds = list("bounds")?;
+        let buckets = list("buckets")?;
+        if buckets.len() != bounds.len() + 1 || !bounds.windows(2).all(|w| w[0] < w[1]) {
+            return None;
+        }
+        let histogram = Histogram::new(&bounds);
+        for (slot, count) in histogram.buckets.iter().zip(&buckets) {
+            slot.store(*count, Ordering::Relaxed);
+        }
+        histogram
+            .count
+            .store(value.get("count")?.as_u64()?, Ordering::Relaxed);
+        histogram
+            .sum
+            .store(value.get("sum")?.as_u64()?, Ordering::Relaxed);
+        Some(histogram)
     }
 }
 
@@ -395,7 +436,10 @@ impl MetricsRegistry {
 ///
 /// The service's verdict cache feeds `svc.cache_{hits,misses,subsumptions}`
 /// counters directly (not through the event stream) so the totals stay
-/// exact even when several recorders share one registry.
+/// exact even when several recorders share one registry. The daemon's
+/// health/SLO plane likewise feeds `svc.slo_p99_violations` (counter:
+/// timed responses over the configured p99 target) and `svc.ready`
+/// (gauge: 1 while the node should receive traffic) directly.
 pub struct MetricsRecorder {
     registry: Arc<MetricsRegistry>,
     rounds: Arc<Counter>,
@@ -744,6 +788,39 @@ mod tests {
     fn quantile_of_empty_histogram_is_none() {
         let h = Histogram::new(&[10]);
         assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn from_snapshot_round_trips_and_merges() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        for v in [5u64, 20, 60, 500, 5000] {
+            h.observe(v);
+        }
+        let rebuilt = Histogram::from_snapshot(&h.snapshot()).unwrap();
+        assert_eq!(rebuilt.count(), h.count());
+        assert_eq!(rebuilt.sum(), h.sum());
+        assert_eq!(rebuilt.bucket_counts(), h.bucket_counts());
+        assert_eq!(rebuilt.quantile(0.5), h.quantile(0.5));
+        // Rebuilt histograms merge like live ones — the fleet-aggregate
+        // path: per-node snapshots folded into one cluster histogram.
+        let fleet = Histogram::new(&[10, 100, 1000]);
+        fleet.merge_from(&rebuilt).unwrap();
+        fleet.merge_from(&rebuilt).unwrap();
+        assert_eq!(fleet.count(), 2 * h.count());
+
+        // Shape mismatches read as None, not garbage.
+        let mut bad = Map::new();
+        bad.insert("count".to_string(), Value::from(1u64));
+        assert!(Histogram::from_snapshot(&Value::Object(bad)).is_none());
+        let mut snap = h.snapshot();
+        if let Value::Object(map) = &mut snap {
+            map.remove("buckets");
+            map.insert("buckets".to_string(), Value::from(vec![1u64, 2]));
+        }
+        assert!(
+            Histogram::from_snapshot(&snap).is_none(),
+            "bucket list must cover bounds plus overflow"
+        );
     }
 
     #[test]

@@ -83,6 +83,10 @@ pub trait Recorder {
     }
 
     /// A profiling span opened (see [`crate::SpanGuard`]).
+    ///
+    /// The hook carries no distributed-trace fields: a span is born local
+    /// and only gains `trace_id`/`ctx_parent` when the owner stamps the
+    /// buffered event (see [`crate::stamp_root_span`]).
     #[inline]
     fn on_span_start(&mut self, round: usize, span_id: u64, parent: Option<u64>, name: &str) {
         self.record(TraceEvent::SpanStart {
@@ -90,6 +94,8 @@ pub trait Recorder {
             span_id,
             parent,
             name: name.to_string(),
+            trace_id: None,
+            ctx_parent: None,
         });
     }
 
@@ -245,6 +251,16 @@ pub trait Recorder {
             failures,
         });
     }
+
+    /// The daemon's health verdict flipped (edge-triggered).
+    #[inline]
+    fn on_health(&mut self, status: &str, ready: bool, live: bool) {
+        self.record(TraceEvent::Health {
+            status: status.to_string(),
+            ready,
+            live,
+        });
+    }
 }
 
 /// A `&mut` reference forwards to the referent, overridden hooks included,
@@ -342,6 +358,10 @@ impl<R: Recorder + ?Sized> Recorder for &mut R {
     fn on_peer_down(&mut self, peer: &str, failures: u64) {
         (**self).on_peer_down(peer, failures);
     }
+    #[inline]
+    fn on_health(&mut self, status: &str, ready: bool, live: bool) {
+        (**self).on_health(status, ready, live);
+    }
 }
 
 /// Re-dispatches a stored [`TraceEvent`] through the matching hook.
@@ -373,11 +393,15 @@ pub fn replay_event<R: Recorder + ?Sized>(recorder: &mut R, event: &TraceEvent) 
             nanos,
         } => recorder.on_round_end(*round, *counts, *nanos),
         TraceEvent::Span { round, name, nanos } => recorder.on_span(*round, name, *nanos),
+        // The ctx fields don't travel through the hook: replay feeds
+        // aggregators (metrics), which ignore trace identity; sinks that
+        // need the stamped fields receive the full event via `record`.
         TraceEvent::SpanStart {
             round,
             span_id,
             parent,
             name,
+            ..
         } => recorder.on_span_start(*round, *span_id, *parent, name),
         TraceEvent::SpanEnd {
             round,
@@ -444,6 +468,11 @@ pub fn replay_event<R: Recorder + ?Sized>(recorder: &mut R, event: &TraceEvent) 
             accepted,
         } => recorder.on_gossip_apply(peer, op, key, *accepted),
         TraceEvent::PeerDown { peer, failures } => recorder.on_peer_down(peer, *failures),
+        TraceEvent::Health {
+            status,
+            ready,
+            live,
+        } => recorder.on_health(status, *ready, *live),
     }
 }
 
@@ -526,6 +555,9 @@ impl MemoryRecorder {
             TraceEvent::GossipRound { .. }
             | TraceEvent::GossipApply { .. }
             | TraceEvent::PeerDown { .. } => (0, 12, 0, 0),
+            // Health flips keep emission order: they are edge-triggered
+            // lifecycle marks like the WAL ones.
+            TraceEvent::Health { .. } => (0, 13, 0, 0),
         });
         events
     }
@@ -668,6 +700,10 @@ impl<A: Recorder, B: Recorder> Recorder for TeeRecorder<A, B> {
     fn on_peer_down(&mut self, peer: &str, failures: u64) {
         self.first.on_peer_down(peer, failures);
         self.second.on_peer_down(peer, failures);
+    }
+    fn on_health(&mut self, status: &str, ready: bool, live: bool) {
+        self.first.on_health(status, ready, live);
+        self.second.on_health(status, ready, live);
     }
 }
 
@@ -823,6 +859,35 @@ mod tests {
             (counter.rounds, counter.applies, counter.downs),
             (1, 1, 1)
         );
+    }
+
+    #[test]
+    fn health_hook_funnels_tees_and_replays() {
+        let mut memory = MemoryRecorder::new();
+        memory.on_health("degraded", false, true);
+        assert_eq!(memory.events().iter().map(TraceEvent::kind).collect::<Vec<_>>(), ["health"]);
+
+        /// Counts health flips in an override; `record` stays a no-op.
+        #[derive(Default)]
+        struct HealthCounter {
+            flips: usize,
+        }
+        impl Recorder for HealthCounter {
+            fn on_health(&mut self, _status: &str, _ready: bool, _live: bool) {
+                self.flips += 1;
+            }
+        }
+        let mut counter = HealthCounter::default();
+        {
+            let mut tee = TeeRecorder::new(&mut counter, MemoryRecorder::new());
+            tee.on_health("ok", true, true);
+        }
+        assert_eq!(counter.flips, 1);
+        let mut counter = HealthCounter::default();
+        for event in memory.events() {
+            replay_event(&mut counter, event);
+        }
+        assert_eq!(counter.flips, 1);
     }
 
     #[test]

@@ -18,6 +18,9 @@ pub struct JsonlSink<W: Write> {
     writer: Option<W>,
     lines: u64,
     failed: bool,
+    /// When set, every emitted line gains a `node_id` field — the stable
+    /// node identity `trace stitch` groups multi-node streams by.
+    node_id: Option<String>,
 }
 
 impl JsonlSink<BufWriter<File>> {
@@ -39,6 +42,16 @@ impl<W: Write> JsonlSink<W> {
             writer: Some(writer),
             lines: 0,
             failed: false,
+            node_id: None,
+        }
+    }
+
+    /// Stamps `node_id` onto every subsequent line. Empty ids are
+    /// ignored — an unstamped stream stays byte-identical to pre-cluster
+    /// traces.
+    pub fn set_node_id(&mut self, node_id: &str) {
+        if !node_id.is_empty() {
+            self.node_id = Some(node_id.to_string());
         }
     }
 
@@ -66,7 +79,11 @@ impl<W: Write> JsonlSink<W> {
         if self.failed {
             return;
         }
-        let line = match serde_json::to_string(&event.to_json()) {
+        let mut json = event.to_json();
+        if let (Some(node_id), serde_json::Value::Object(map)) = (&self.node_id, &mut json) {
+            map.insert("node_id", serde_json::Value::from(node_id.as_str()));
+        }
+        let line = match serde_json::to_string(&json) {
             Ok(line) => line,
             Err(err) => {
                 eprintln!("minobs-obs: trace serialisation failed: {err}");
@@ -141,6 +158,24 @@ mod tests {
             assert!(value.get("event").is_some());
             assert!(value.get("round").is_some());
         }
+    }
+
+    #[test]
+    fn node_id_stamps_every_line_once_set() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.on_decision(0, 0, 1);
+        sink.set_node_id("127.0.0.1:7400");
+        sink.on_decision(0, 1, 1);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<Value> = text
+            .lines()
+            .map(|line| serde_json::from_str(line).unwrap())
+            .collect();
+        assert_eq!(lines[0].get("node_id"), None, "pre-stamp lines unchanged");
+        assert_eq!(
+            lines[1].get("node_id").and_then(Value::as_str),
+            Some("127.0.0.1:7400")
+        );
     }
 
     #[test]

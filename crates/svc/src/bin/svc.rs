@@ -10,7 +10,8 @@
 //! svc bench --sweep lo:hi:steps [--duration S] [--p99-bound-ms X]
 //!           [--expect-knee] [...open-loop flags]
 //! svc top [--addr HOST:PORT] [--interval SECS] [--iterations N]
-//!         [--no-clear]
+//!         [--no-clear] [--cluster]
+//! svc metrics [--addr HOST:PORT] [--all]
 //! ```
 //!
 //! The address defaults to `MINOBS_SVC_ADDR`. `bench` has two modes with
@@ -33,7 +34,14 @@
 //! of offered, or p99 exceeds `--p99-bound-ms`.
 //!
 //! `top` polls `stats` and renders a live view: request rate, queued
-//! backlog, cache hit ratio, and per-method latency percentiles.
+//! backlog, cache hit ratio, and per-method latency percentiles. With
+//! `--cluster` it discovers the fleet through the seed's `stats.peers`
+//! table and renders one row per node plus a fleet-aggregate row
+//! (latency quantiles merged bucket-by-bucket across nodes).
+//!
+//! `metrics` prints a daemon's Prometheus exposition; `--all` walks the
+//! discovered fleet and prints every node's, separated by `# ---- node`
+//! comment lines.
 
 use minobs_obs::Histogram;
 use minobs_svc::client::{RetryPolicy, SvcClient, SvcError};
@@ -48,7 +56,7 @@ use std::time::{Duration, Instant};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  svc call <method> [params-json] [--addr HOST:PORT] [--timeout S] [--connect-timeout S] [--retries N]\n  svc bench [--addr HOST:PORT] [--threads N] [--requests M] [--method NAME] [--params JSON]\n  svc bench --open-loop --freq N [--duration S] [--threads N] [--mix m1=w1,m2=w2] [--inflight-cap N] [--tick S] [--out PATH] [--id NAME]\n  svc bench --sweep lo:hi:steps [--duration S] [--p99-bound-ms X] [--expect-knee] [open-loop flags]\n  svc top [--addr HOST:PORT] [--interval SECS] [--iterations N] [--no-clear]"
+        "usage:\n  svc call <method> [params-json] [--addr HOST:PORT] [--timeout S] [--connect-timeout S] [--retries N]\n  svc bench [--addr HOST:PORT] [--threads N] [--requests M] [--method NAME] [--params JSON]\n  svc bench --open-loop --freq N [--duration S] [--threads N] [--mix m1=w1,m2=w2] [--inflight-cap N] [--tick S] [--out PATH] [--id NAME]\n  svc bench --sweep lo:hi:steps [--duration S] [--p99-bound-ms X] [--expect-knee] [open-loop flags]\n  svc top [--addr HOST:PORT] [--interval SECS] [--iterations N] [--no-clear] [--cluster]\n  svc metrics [--addr HOST:PORT] [--all]"
     );
     ExitCode::FAILURE
 }
@@ -70,6 +78,7 @@ fn main() -> ExitCode {
         Some("call") => call(&args[1..]),
         Some("bench") => bench(&args[1..]),
         Some("top") => top(&args[1..]),
+        Some("metrics") => metrics_cmd(&args[1..]),
         _ => usage(),
     }
 }
@@ -724,6 +733,7 @@ fn top(args: &[String]) -> ExitCode {
     let mut interval = 1.0f64;
     let mut iterations = 0usize; // 0 = poll until interrupted
     let mut clear = true;
+    let mut cluster = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -740,6 +750,7 @@ fn top(args: &[String]) -> ExitCode {
                 None => return usage(),
             },
             "--no-clear" => clear = false,
+            "--cluster" => cluster = true,
             _ => return usage(),
         }
     }
@@ -747,6 +758,9 @@ fn top(args: &[String]) -> ExitCode {
         eprintln!("svc top: no address (pass --addr or set MINOBS_SVC_ADDR)");
         return ExitCode::FAILURE;
     };
+    if cluster {
+        return cluster_top(&addr, interval, iterations, clear);
+    }
     let mut client = match SvcClient::connect(addr.as_str()) {
         Ok(client) => client,
         Err(err) => {
@@ -904,6 +918,333 @@ fn render_peers(stats: &Value) {
     }
 }
 
+/// One generic null-params RPC against `addr` on a fresh
+/// bounded-timeout connection. Fleet polling dials per poll so one dead
+/// node cannot wedge the frame.
+fn fetch(addr: &str, method: &str) -> Result<Value, String> {
+    let mut client = SvcClient::connect_with_timeout(addr, Some(Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    client
+        .set_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| e.to_string())?;
+    client.call(method, Value::Null).map_err(|e| e.to_string())
+}
+
+/// The fleet one hop out from `seed`: the seed plus every address in its
+/// `stats.peers` table, in table order. Each daemon reports only its
+/// *configured* peers, so point the seed at a node that gossips with the
+/// whole cluster (any node works in a full mesh).
+fn discover_fleet(seed: &str, seed_stats: &Value) -> Vec<String> {
+    let mut fleet = vec![seed.to_string()];
+    let rows = seed_stats
+        .get("peers")
+        .and_then(|p| p.get("table"))
+        .and_then(Value::as_array);
+    for row in rows.into_iter().flatten() {
+        if let Some(addr) = row.get("addr").and_then(Value::as_str) {
+            if fleet.iter().all(|a| a != addr) {
+                fleet.push(addr.to_string());
+            }
+        }
+    }
+    fleet
+}
+
+/// Folds a node's per-method `svc.method.*.latency_ns` snapshots into
+/// one histogram, so a node (and, by merging again, the fleet) gets
+/// overall latency quantiles with single-histogram semantics.
+fn node_latency(stats: &Value) -> Option<Histogram> {
+    let histograms = stats
+        .get("metrics")?
+        .get("histograms")?
+        .as_object()?;
+    let merged = Histogram::new(&Histogram::latency_bounds());
+    let mut any = false;
+    for (name, snap) in histograms.iter() {
+        if !(name.starts_with("svc.method.") && name.ends_with(".latency_ns")) {
+            continue;
+        }
+        if let Some(histogram) = Histogram::from_snapshot(snap) {
+            if merged.merge_from(&histogram).is_ok() && histogram.count() > 0 {
+                any = true;
+            }
+        }
+    }
+    any.then_some(merged)
+}
+
+fn gauge(stats: &Value, name: &str) -> u64 {
+    stats
+        .get("metrics")
+        .and_then(|m| m.get("gauges"))
+        .and_then(|g| g.get(name))
+        .and_then(Value::as_u64)
+        .unwrap_or(0)
+}
+
+/// Per-node counters carried between cluster frames to turn totals into
+/// rates.
+struct ClusterSample {
+    responses: std::collections::HashMap<String, u64>,
+    at: Instant,
+}
+
+fn cluster_top(seed: &str, interval: f64, iterations: usize, clear: bool) -> ExitCode {
+    let mut previous: Option<ClusterSample> = None;
+    let mut frame = 0usize;
+    loop {
+        let seed_stats = match fetch(seed, "stats") {
+            Ok(stats) => stats,
+            Err(err) => {
+                eprintln!("svc top: stats from seed {seed} failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let fleet = discover_fleet(seed, &seed_stats);
+        if clear {
+            print!("\x1b[2J\x1b[H");
+        }
+        previous = Some(render_cluster_frame(
+            seed,
+            &fleet,
+            seed_stats,
+            previous.as_ref(),
+        ));
+        frame += 1;
+        if iterations != 0 && frame >= iterations {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(Duration::from_secs_f64(interval));
+    }
+}
+
+/// Renders one cluster frame: a row per discovered node and a fleet
+/// aggregate. Latency quantiles come from bucket-merged histograms, so
+/// the fleet p50/p99 has the same semantics as one shared histogram.
+fn render_cluster_frame(
+    seed: &str,
+    fleet: &[String],
+    seed_stats: Value,
+    previous: Option<&ClusterSample>,
+) -> ClusterSample {
+    let now = Instant::now();
+    let mut sample = ClusterSample {
+        responses: std::collections::HashMap::new(),
+        at: now,
+    };
+    println!("minobs-svc cluster — {} nodes via {seed}", fleet.len());
+    println!(
+        "  {:<34} {:>9} {:>9} {:>9} {:>9} {:>6} {:>7} {:>4} {:>4} {:>5} {:>9}",
+        "node", "health", "req/s", "p50 µs", "p99 µs", "hit%", "queued", "wal", "lag", "down", "slo_viol"
+    );
+
+    let fleet_latency = Histogram::new(&Histogram::latency_bounds());
+    let mut up = 0usize;
+    let mut fleet_qps = 0.0f64;
+    let (mut fleet_hits, mut fleet_lookups) = (0u64, 0u64);
+    let mut fleet_queued = 0u64;
+    let mut fleet_wal_degraded = 0usize;
+    let mut fleet_lag = 0u64;
+    let mut fleet_down = 0u64;
+    let mut fleet_viol = 0u64;
+
+    for (index, addr) in fleet.iter().enumerate() {
+        let stats = if index == 0 {
+            Ok(seed_stats.clone())
+        } else {
+            fetch(addr, "stats")
+        };
+        let stats = match stats {
+            Ok(stats) => stats,
+            Err(err) => {
+                println!("  {addr:<34} {:>9} (unreachable: {err})", "DOWN");
+                continue;
+            }
+        };
+        up += 1;
+        let health = fetch(addr, "health").ok();
+        let status = health
+            .as_ref()
+            .and_then(|h| h.get("status"))
+            .and_then(Value::as_str)
+            .unwrap_or("?");
+        let node_id = health
+            .as_ref()
+            .and_then(|h| h.get("node_id"))
+            .and_then(Value::as_str)
+            .unwrap_or("");
+        let label = if node_id.is_empty() || node_id == addr.as_str() {
+            addr.clone()
+        } else {
+            format!("{addr} [{node_id}]")
+        };
+
+        let responses = counter(&stats, "svc.responses_ok") + counter(&stats, "svc.responses_err");
+        sample.responses.insert(addr.clone(), responses);
+        let qps = match previous.and_then(|p| p.responses.get(addr)) {
+            Some(&before) => {
+                let dt = previous
+                    .map(|p| now.duration_since(p.at).as_secs_f64())
+                    .unwrap_or(0.0)
+                    .max(1e-9);
+                responses.saturating_sub(before) as f64 / dt
+            }
+            None => {
+                // First sight of this node: report the lifetime average.
+                let uptime_s = stats
+                    .get("uptime_ms")
+                    .and_then(Value::as_u64)
+                    .unwrap_or(0) as f64
+                    / 1_000.0;
+                responses as f64 / uptime_s.max(1e-9)
+            }
+        };
+        fleet_qps += qps;
+
+        let latency = node_latency(&stats);
+        let quant = |q: f64| {
+            latency
+                .as_ref()
+                .and_then(|h| h.quantile(q))
+                .map(|ns| format!("{:.1}", ns / 1_000.0))
+                .unwrap_or_else(|| "-".to_string())
+        };
+        if let Some(latency) = &latency {
+            let _ = fleet_latency.merge_from(latency);
+        }
+
+        let hits = counter(&stats, "svc.cache_hits") + counter(&stats, "svc.cache_subsumptions");
+        let lookups = hits + counter(&stats, "svc.cache_misses");
+        fleet_hits += hits;
+        fleet_lookups += lookups;
+        let hit_pct = if lookups > 0 {
+            format!("{:.1}", hits as f64 / lookups as f64 * 100.0)
+        } else {
+            "-".to_string()
+        };
+
+        let queued = stats.get("queued").and_then(Value::as_u64).unwrap_or(0);
+        fleet_queued += queued;
+        let wal_degraded = gauge(&stats, "svc.wal_degraded") != 0;
+        fleet_wal_degraded += wal_degraded as usize;
+        let lag = stats
+            .get("peers")
+            .and_then(|p| p.get("max_lag"))
+            .and_then(Value::as_u64)
+            .unwrap_or(0);
+        fleet_lag = fleet_lag.max(lag);
+        let peers_down = {
+            let count = stats
+                .get("peers")
+                .and_then(|p| p.get("count"))
+                .and_then(Value::as_u64)
+                .unwrap_or(0);
+            let alive = stats
+                .get("peers")
+                .and_then(|p| p.get("alive"))
+                .and_then(Value::as_u64)
+                .unwrap_or(0);
+            count.saturating_sub(alive)
+        };
+        fleet_down += peers_down;
+        let violations = counter(&stats, "svc.slo_p99_violations");
+        fleet_viol += violations;
+
+        println!(
+            "  {label:<34} {status:>9} {qps:>9.1} {:>9} {:>9} {hit_pct:>6} {queued:>7} {:>4} {lag:>4} {peers_down:>5} {violations:>9}",
+            quant(0.50),
+            quant(0.99),
+            if wal_degraded { "DEG" } else { "ok" },
+        );
+    }
+
+    let fleet_quant = |q: f64| {
+        fleet_latency
+            .quantile(q)
+            .map(|ns| format!("{:.1}", ns / 1_000.0))
+            .unwrap_or_else(|| "-".to_string())
+    };
+    let fleet_hit = if fleet_lookups > 0 {
+        format!("{:.1}", fleet_hits as f64 / fleet_lookups as f64 * 100.0)
+    } else {
+        "-".to_string()
+    };
+    println!(
+        "  {:<34} {:>9} {fleet_qps:>9.1} {:>9} {:>9} {fleet_hit:>6} {fleet_queued:>7} {:>4} {fleet_lag:>4} {fleet_down:>5} {fleet_viol:>9}",
+        format!("fleet ({up}/{} up)", fleet.len()),
+        if up == fleet.len() { "ok" } else { "degraded" },
+        fleet_quant(0.50),
+        fleet_quant(0.99),
+        if fleet_wal_degraded == 0 {
+            "ok".to_string()
+        } else {
+            format!("{fleet_wal_degraded}DEG")
+        },
+    );
+    sample
+}
+
+fn metrics_cmd(args: &[String]) -> ExitCode {
+    let mut addr = env_addr();
+    let mut all = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(a) => addr = Some(a.clone()),
+                None => return usage(),
+            },
+            "--all" => all = true,
+            _ => return usage(),
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("svc metrics: no address (pass --addr or set MINOBS_SVC_ADDR)");
+        return ExitCode::FAILURE;
+    };
+    let targets = if all {
+        match fetch(&addr, "stats") {
+            Ok(stats) => discover_fleet(&addr, &stats),
+            Err(err) => {
+                eprintln!("svc metrics: stats from {addr} failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        vec![addr.clone()]
+    };
+    let mut failures = 0usize;
+    for node in &targets {
+        let text = fetch(node, "metrics").and_then(|reply| {
+            reply
+                .get("text")
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| String::from("daemon returned no exposition text"))
+        });
+        match text {
+            Ok(text) => {
+                if targets.len() > 1 {
+                    println!("# ---- node {node} ----");
+                }
+                print!("{text}");
+                if !text.ends_with('\n') {
+                    println!();
+                }
+            }
+            Err(err) => {
+                eprintln!("svc metrics: {node}: {err}");
+                failures += 1;
+            }
+        }
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn run_thread(addr: &str, method: &str, params: &Value, requests: usize) -> ThreadOutcome {
     let mut outcome = ThreadOutcome {
         latency: Histogram::new(&Histogram::latency_bounds()),
@@ -940,4 +1281,91 @@ fn run_thread(addr: &str, method: &str, params: &Value, requests: usize) -> Thre
         }
     }
     outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_fixture() -> Value {
+        serde_json::from_str(
+            r#"{
+              "queued": 1,
+              "uptime_ms": 2000,
+              "peers": {
+                "count": 2, "alive": 1, "max_lag": 3,
+                "table": [
+                  {"addr": "127.0.0.1:7402", "alive": true},
+                  {"addr": "127.0.0.1:7403", "alive": false},
+                  {"addr": "127.0.0.1:7402", "alive": true}
+                ]
+              },
+              "metrics": {
+                "counters": {"svc.responses_ok": 10, "svc.responses_err": 2},
+                "gauges": {"svc.wal_degraded": 1},
+                "histograms": {
+                  "svc.method.stats.latency_ns": null,
+                  "svc.requests_other": null
+                }
+              }
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn discover_fleet_is_seed_plus_deduped_peer_table() {
+        let stats = stats_fixture();
+        let fleet = discover_fleet("127.0.0.1:7401", &stats);
+        assert_eq!(
+            fleet,
+            vec![
+                "127.0.0.1:7401".to_string(),
+                "127.0.0.1:7402".to_string(),
+                "127.0.0.1:7403".to_string(),
+            ],
+            "seed first, peers deduped in table order"
+        );
+        // A single-node daemon (empty table) discovers just itself.
+        let lone: Value = serde_json::from_str(
+            r#"{"peers": {"count": 0, "alive": 0, "table": []}}"#,
+        )
+        .unwrap();
+        assert_eq!(discover_fleet("a:1", &lone), vec!["a:1".to_string()]);
+    }
+
+    #[test]
+    fn node_latency_merges_only_method_histograms() {
+        // Build a stats value whose histograms section holds one real
+        // method snapshot and one non-method snapshot.
+        let method = Histogram::new(&Histogram::latency_bounds());
+        method.observe(5_000);
+        method.observe(50_000);
+        let other = Histogram::new(&Histogram::latency_bounds());
+        other.observe(1);
+
+        let mut histograms = Map::new();
+        let snapshot_of = |h: &Histogram| {
+            let mut map = Map::new();
+            map.insert("count", Value::from(h.count()));
+            map.insert("sum", Value::from(h.sum()));
+            map.insert("bounds", Value::from(h.bounds().to_vec()));
+            map.insert("buckets", Value::from(h.bucket_counts()));
+            Value::Object(map)
+        };
+        histograms.insert("svc.method.stats.latency_ns", snapshot_of(&method));
+        histograms.insert("engine.round_latency_ns", snapshot_of(&other));
+        let mut metrics = Map::new();
+        metrics.insert("histograms", Value::Object(histograms));
+        let mut stats = Map::new();
+        stats.insert("metrics", Value::Object(metrics));
+
+        let merged = node_latency(&Value::Object(stats)).expect("method histogram present");
+        assert_eq!(merged.count(), 2, "only the rpc-method histogram merges");
+
+        // No method histograms at all → None, so callers render "-".
+        let empty: Value =
+            serde_json::from_str(r#"{"metrics": {"histograms": {}}}"#).unwrap();
+        assert!(node_latency(&empty).is_none());
+    }
 }

@@ -13,6 +13,7 @@
 //! never retried.
 
 use crate::wire::{self, FrameError, RPC_VERSION};
+use minobs_obs::TraceContext;
 use serde_json::Value;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -186,11 +187,31 @@ impl SvcClient {
         Ok(())
     }
 
-    /// Calls `method` and returns the `result` payload.
+    /// Calls `method` and returns the `result` payload. Each call mints
+    /// a fresh root [`TraceContext`], so every request is traceable
+    /// end-to-end by default; use [`SvcClient::call_with_ctx`] to thread
+    /// an existing context through instead.
     pub fn call(&mut self, method: &str, params: Value) -> Result<Value, SvcError> {
+        let ctx = TraceContext::root();
+        self.call_with_ctx(method, params, &ctx)
+    }
+
+    /// Calls `method` under an explicit distributed trace context: the
+    /// request envelope carries `ctx` and the daemon parents its
+    /// `rpc.{method}` span under `ctx.parent_span` within
+    /// `ctx.trace_id`.
+    pub fn call_with_ctx(
+        &mut self,
+        method: &str,
+        params: Value,
+        ctx: &TraceContext,
+    ) -> Result<Value, SvcError> {
         let id = self.next_id;
         self.next_id += 1;
-        wire::write_frame(&mut self.writer, &wire::request(id, method, params))?;
+        wire::write_frame(
+            &mut self.writer,
+            &wire::request_with_ctx(id, method, params, ctx),
+        )?;
         self.writer.flush()?;
         let response = wire::read_frame(&mut self.reader)?.ok_or_else(|| {
             SvcError::Io(io::Error::new(
@@ -204,17 +225,33 @@ impl SvcClient {
     /// Calls `method`, retrying transient failures (transport errors,
     /// `busy` rejections) under `policy`: reconnect, back off
     /// exponentially with jitter, try again, up to `policy.budget`
-    /// retries. Safe because every daemon method is idempotent.
+    /// retries. Safe because every daemon method is idempotent. All
+    /// attempts share one freshly minted trace context, so a retried
+    /// request stays one trace.
     pub fn call_with_retry(
         &mut self,
         method: &str,
         params: Value,
         policy: &RetryPolicy,
     ) -> Result<Value, SvcError> {
+        let ctx = TraceContext::root();
+        self.call_with_retry_ctx(method, params, policy, &ctx)
+    }
+
+    /// [`SvcClient::call_with_retry`] under an explicit trace context —
+    /// the building block [`crate::ClusterClient`] uses to keep one
+    /// `trace_id` across retry *and* failover hops.
+    pub fn call_with_retry_ctx(
+        &mut self,
+        method: &str,
+        params: Value,
+        policy: &RetryPolicy,
+        ctx: &TraceContext,
+    ) -> Result<Value, SvcError> {
         let first_id = self.next_id;
         let mut attempt = 0u32;
         loop {
-            match self.call(method, params.clone()) {
+            match self.call_with_ctx(method, params.clone(), ctx) {
                 Ok(value) => return Ok(value),
                 Err(e) if e.is_retryable() && attempt < policy.budget => {
                     std::thread::sleep(policy.backoff(first_id, attempt));
@@ -362,6 +399,14 @@ mod tests {
             let mut reader = &stream;
             let request = read_frame(&mut reader).unwrap().unwrap();
             let id = request.get("id").and_then(Value::as_u64).unwrap();
+            // Every client call carries a fresh root trace context.
+            let trace_id = request
+                .get("ctx")
+                .and_then(|ctx| ctx.get("trace_id"))
+                .and_then(Value::as_str)
+                .expect("retried calls still carry a ctx")
+                .to_string();
+            assert_eq!(trace_id.len(), 32);
             let mut writer = &stream;
             write_frame(&mut writer, &ok_response(id, Value::from(42u64))).unwrap();
         });

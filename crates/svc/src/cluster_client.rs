@@ -15,6 +15,7 @@
 
 use crate::client::{RetryPolicy, SvcClient, SvcError};
 use minobs_cluster::HashRing;
+use minobs_obs::TraceContext;
 use serde_json::Value;
 use std::collections::HashMap;
 use std::io;
@@ -76,7 +77,13 @@ impl ClusterClient {
     /// Calls `method` on the node owning `key`, failing over along the
     /// ring on transient errors. Returns the last transient error when
     /// every node fails, or the first definitive error encountered.
+    ///
+    /// One root [`TraceContext`] is minted per *logical* call: every
+    /// retry on a node and every failover hop re-sends the same
+    /// `trace_id`, so a request that bounced across the ring still
+    /// stitches into one trace.
     pub fn call(&mut self, key: &str, method: &str, params: Value) -> Result<Value, SvcError> {
+        let ctx = TraceContext::root();
         let route: Vec<String> = self
             .ring
             .route(key)
@@ -107,7 +114,7 @@ impl ClusterClient {
                 }
             }
             let client = self.clients.get_mut(&node).expect("just ensured");
-            match client.call_with_retry(method, params.clone(), &self.policy) {
+            match client.call_with_retry_ctx(method, params.clone(), &self.policy, &ctx) {
                 Ok(value) => return Ok(value),
                 Err(e) if e.is_retryable() => {
                     // This node is unreachable or saturated; drop the
@@ -185,6 +192,66 @@ mod tests {
             .unwrap();
         let value = client.call(&key, "stats", Value::Null).unwrap();
         assert_eq!(value, Value::from("b"), "the healthy node must answer");
+    }
+
+    /// Satellite: retry/failover keeps one `trace_id`. Node a reads the
+    /// request (capturing its ctx) then hangs up — a transport error,
+    /// so the client fails over — and node b captures the ctx of the
+    /// hop that reaches it. Both hops must carry the same trace id.
+    #[test]
+    fn failover_hops_reuse_the_same_trace_id() {
+        let listener_a = TcpListener::bind("127.0.0.1:0").unwrap();
+        let listener_b = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr_a = listener_a.local_addr().unwrap().to_string();
+        let addr_b = listener_b.local_addr().unwrap().to_string();
+        let (tx, rx) = std::sync::mpsc::channel::<String>();
+
+        let capture_ctx = |request: &Value| {
+            request
+                .get("ctx")
+                .and_then(|ctx| ctx.get("trace_id"))
+                .and_then(Value::as_str)
+                .expect("every hop carries a ctx")
+                .to_string()
+        };
+        let tx_a = tx.clone();
+        thread::spawn(move || {
+            // Read the frame, report its trace id, drop the connection
+            // without answering: an Io error on the client side.
+            let (stream, _) = listener_a.accept().unwrap();
+            let mut reader = &stream;
+            let request = read_frame(&mut reader).unwrap().unwrap();
+            tx_a.send(capture_ctx(&request)).unwrap();
+        });
+        thread::spawn(move || {
+            let (stream, _) = listener_b.accept().unwrap();
+            let mut reader = &stream;
+            let request = read_frame(&mut reader).unwrap().unwrap();
+            tx.send(capture_ctx(&request)).unwrap();
+            let id = request.get("id").and_then(Value::as_u64).unwrap();
+            let mut writer = &stream;
+            write_frame(&mut writer, &ok_response(id, Value::from("b"))).unwrap();
+        });
+
+        let policy = RetryPolicy {
+            budget: 0,
+            ..RetryPolicy::default()
+        };
+        let mut client = ClusterClient::with_policy(&[addr_a.clone(), addr_b], policy);
+        let key = (0..)
+            .map(|i| format!("scheme|{i}"))
+            .find(|k| client.ring().owner(k) == Some(addr_a.as_str()))
+            .unwrap();
+        let value = client.call(&key, "stats", Value::Null).unwrap();
+        assert_eq!(value, Value::from("b"));
+
+        let first = rx.recv().unwrap();
+        let second = rx.recv().unwrap();
+        assert_eq!(first.len(), 32, "trace id is 32 hex digits");
+        assert_eq!(
+            first, second,
+            "failover must re-send the same trace_id, not mint a new root"
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@ use crate::methods::RpcError;
 use crate::server::ServerState;
 use minobs_cluster::digest::{self, Delta, GossipBody};
 use minobs_cluster::{LinkPolicy, LinkVerdict};
+use minobs_obs::{stamp_root_span, MemoryRecorder, SpanGuard, SpanIds, TraceContext};
 use serde_json::Value;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -130,38 +131,60 @@ fn exchange(
     }
     let client = clients.get_mut(peer).expect("just inserted");
 
+    // Each exchange runs under a `gossip.exchange` span. When a recent
+    // cache-filling request stashed its trace context, the exchange
+    // joins that trace — replicating the verdict stays attributable to
+    // the request that produced it; otherwise it roots a fresh trace.
+    // Both gossip RPCs carry a child context parented on this span, so
+    // the receiving daemon's `rpc.gossip` span stitches underneath it.
+    let ctx = state.take_gossip_ctx().unwrap_or_else(TraceContext::root);
+    let mut spans = MemoryRecorder::new();
+    let mut span_ids = SpanIds::starting_at(state.next_seq() << 20);
+    let span = SpanGuard::begin(&mut spans, &mut span_ids, 0, None, "gossip.exchange");
+    let rpc_ctx = match span.as_ref().map(SpanGuard::id) {
+        Some(id) => TraceContext {
+            trace_id: ctx.trace_id,
+            parent_span: Some(id),
+        },
+        None => ctx,
+    };
+
     let entries = state.cache().snapshot();
     let mine = digest::fingerprints(&entries);
     let reply = client
-        .call("gossip", digest::digest_params(&config.self_addr, &mine))
+        .call_with_ctx(
+            "gossip",
+            digest::digest_params(&config.self_addr, &mine),
+            &rpc_ctx,
+        )
         .map_err(|e| e.to_string())?;
     let theirs =
         digest::parse_digest_result(&reply).ok_or("peer sent a malformed digest result")?;
     let mismatch = digest::mismatched(&mine, &theirs);
-    if mismatch.is_empty() {
-        let nanos = (started.elapsed().as_nanos() as u64).max(1);
-        state.gossip_success(peer, 0, 0, 0, nanos);
-        return Ok(());
-    }
+    let (sent, accepted, lag) = if mismatch.is_empty() {
+        (0, 0, 0)
+    } else {
+        let outbound = digest::shard_deltas(&entries, &mismatch);
+        let reply = client
+            .call_with_ctx(
+                "gossip",
+                digest::sync_params(&config.self_addr, &mismatch, &outbound),
+                &rpc_ctx,
+            )
+            .map_err(|e| e.to_string())?;
+        let (_applied_there, inbound) =
+            digest::parse_sync_result(&reply).ok_or("peer sent a malformed sync result")?;
+        let accepted = ingest_deltas(state, peer, &inbound);
+        (outbound.len() as u64, accepted, mismatch.len() as u64)
+    };
 
-    let outbound = digest::shard_deltas(&entries, &mismatch);
-    let reply = client
-        .call(
-            "gossip",
-            digest::sync_params(&config.self_addr, &mismatch, &outbound),
-        )
-        .map_err(|e| e.to_string())?;
-    let (_applied_there, inbound) =
-        digest::parse_sync_result(&reply).ok_or("peer sent a malformed sync result")?;
-    let accepted = ingest_deltas(state, peer, &inbound);
+    if let Some(span) = span {
+        span.end(&mut spans);
+    }
+    let mut events = spans.into_events();
+    stamp_root_span(&mut events, &ctx);
     let nanos = (started.elapsed().as_nanos() as u64).max(1);
-    state.gossip_success(
-        peer,
-        outbound.len() as u64,
-        accepted,
-        mismatch.len() as u64,
-        nanos,
-    );
+    state.gossip_success(peer, sent, accepted, lag, nanos, &events);
     Ok(())
 }
 

@@ -63,6 +63,7 @@ pub fn handle(state: &ServerState, request: &Request) -> (Result<Value, RpcError
         "net_solvable" => (net_solvable(params), "none"),
         "simulate" => (simulate(params), "none"),
         "stats" => (Ok(stats(state)), "none"),
+        "health" => (Ok(health(state)), "none"),
         "gossip" => (crate::gossip::handle(state, params), "none"),
         "metrics" => (
             Ok(obj(&[(
@@ -626,6 +627,52 @@ fn stats(state: &ServerState) -> Value {
         ("peers", state.peers_json()),
         ("latency", latency_summary(state)),
         ("metrics", state.registry().snapshot()),
+    ])
+}
+
+/// `health`: the liveness/readiness probe plus SLO burn counters.
+/// Evaluating publishes the `svc.ready` gauge and, on any verdict
+/// change, an edge-triggered `health` trace event — so polling this
+/// method is what keeps the health plane current.
+fn health(state: &ServerState) -> Value {
+    let report = state.evaluate_health();
+    let requests = state.registry().counter("svc.requests").get();
+    obj(&[
+        ("status", Value::from(report.status)),
+        ("ready", Value::from(report.ready)),
+        ("live", Value::from(report.live)),
+        ("node_id", Value::from(state.node_id())),
+        (
+            "checks",
+            obj(&[
+                (
+                    "wal",
+                    Value::from(if report.wal_degraded { "degraded" } else { "ok" }),
+                ),
+                (
+                    "peers",
+                    obj(&[
+                        ("alive", Value::from(report.peers_alive as u64)),
+                        ("down", Value::from(report.peers_down as u64)),
+                    ]),
+                ),
+                (
+                    "queue",
+                    obj(&[
+                        ("depth", Value::from(report.queued)),
+                        ("cap", Value::from(state.max_connections() as u64)),
+                    ]),
+                ),
+            ]),
+        ),
+        (
+            "slo",
+            obj(&[
+                ("p99_target_ms", Value::from(state.slo_p99_ms())),
+                ("violations", Value::from(state.slo_violations())),
+                ("requests", Value::from(requests)),
+            ]),
+        ),
     ])
 }
 

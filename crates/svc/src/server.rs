@@ -22,8 +22,8 @@ use crate::wire::{self, Request};
 use crossbeam::channel::{self, Receiver, Sender};
 use minobs_cluster::{LinkPolicy, PeerTable};
 use minobs_obs::{
-    replay_event, JsonlSink, MemoryRecorder, MetricsRecorder, MetricsRegistry, Recorder, SpanGuard,
-    SpanIds, TraceEvent,
+    replay_event, stamp_root_span, Counter, Gauge, JsonlSink, MemoryRecorder, MetricsRecorder,
+    MetricsRegistry, Recorder, SpanGuard, SpanIds, TraceContext, TraceEvent,
 };
 use serde_json::Value;
 use std::fs::File;
@@ -93,6 +93,13 @@ pub struct SvcConfig {
     /// leave this unset (always deliver). Chaos harnesses install a
     /// seeded policy here.
     pub link_policy: Option<LinkPolicy>,
+    /// Stable node identity stamped on trace lines and reported by
+    /// `health`; defaults to the bound `host:port` (after the
+    /// `MINOBS_NODE_ID` environment variable).
+    pub node_id: Option<String>,
+    /// The p99 latency target the SLO burn counter
+    /// (`svc.slo_p99_violations`) measures against, in milliseconds.
+    pub slo_p99_ms: u64,
 }
 
 impl Default for SvcConfig {
@@ -107,6 +114,8 @@ impl Default for SvcConfig {
             peers: Vec::new(),
             gossip_interval: Duration::from_millis(500),
             link_policy: None,
+            node_id: None,
+            slo_p99_ms: 50,
         }
     }
 }
@@ -125,8 +134,11 @@ impl SvcConfig {
     /// `[1, 4096]`), `MINOBS_SVC_TRACE` (a JSONL path; unset = no
     /// trace), `MINOBS_SVC_WAL` (a verdict-log path; unset = no
     /// persistence), `MINOBS_SVC_PEERS` (comma-separated `host:port`
-    /// cluster peers; unset = single-node), and `MINOBS_SVC_GOSSIP_MS`
-    /// (anti-entropy interval, default 500, clamped to `[10, 60000]`).
+    /// cluster peers; unset = single-node), `MINOBS_SVC_GOSSIP_MS`
+    /// (anti-entropy interval, default 500, clamped to `[10, 60000]`),
+    /// `MINOBS_NODE_ID` (stable node identity; default: the bound
+    /// `host:port`), and `MINOBS_SVC_SLO_P99_MS` (SLO p99 target,
+    /// default 50, clamped to `[1, 60000]`).
     pub fn from_env() -> SvcConfig {
         let mut config = SvcConfig::default();
         if let Ok(addr) = std::env::var("MINOBS_SVC_ADDR") {
@@ -167,6 +179,16 @@ impl SvcConfig {
                 config.gossip_interval = Duration::from_millis(ms.clamp(10, 60_000));
             }
         }
+        if let Ok(node_id) = std::env::var("MINOBS_NODE_ID") {
+            if !node_id.trim().is_empty() {
+                config.node_id = Some(node_id.trim().to_string());
+            }
+        }
+        if let Ok(target) = std::env::var("MINOBS_SVC_SLO_P99_MS") {
+            if let Ok(ms) = target.trim().parse::<u64>() {
+                config.slo_p99_ms = ms.clamp(1, 60_000);
+            }
+        }
         config
     }
 }
@@ -174,6 +196,25 @@ impl SvcConfig {
 enum TraceSink {
     None,
     File(JsonlSink<BufWriter<File>>),
+}
+
+/// A point-in-time health verdict; see [`ServerState::evaluate_health`].
+#[derive(Debug, Clone, Copy)]
+pub struct HealthReport {
+    /// `"ok"` or `"degraded"`.
+    pub status: &'static str,
+    /// True while the node should receive traffic.
+    pub ready: bool,
+    /// True whenever the daemon can evaluate health at all.
+    pub live: bool,
+    /// Requests accepted but not yet answered.
+    pub queued: u64,
+    /// Peers currently reachable (0 of 0 in single-node mode).
+    pub peers_alive: usize,
+    /// Peers past the consecutive-failure threshold.
+    pub peers_down: usize,
+    /// True once the WAL has latched memory-only mode.
+    pub wal_degraded: bool,
 }
 
 /// State shared by the acceptor, connection threads, and workers.
@@ -195,21 +236,46 @@ pub struct ServerState {
     replay: Option<crate::wal::ReplayReport>,
     /// Gossip health per configured peer; empty in single-node mode.
     peers: Mutex<PeerTable>,
+    /// Stable node identity: config override, else `MINOBS_NODE_ID`,
+    /// else the bound `host:port`. Stamped on every trace line.
+    node_id: String,
+    /// The acceptor's connection cap, kept for the health queue check.
+    max_connections: usize,
+    /// SLO p99 target in nanoseconds; responses slower than this burn
+    /// `svc.slo_p99_violations`.
+    slo_target_ns: u64,
+    slo_violations: Arc<Counter>,
+    ready_gauge: Arc<Gauge>,
+    /// Last emitted health verdict, packed as `ready | (status_ok << 1)`;
+    /// `u64::MAX` until the first evaluation, so the first flip always
+    /// emits a `health` trace event (edge-triggered).
+    health_state: AtomicU64,
+    /// The trace context of the most recent cache-filling request, held
+    /// for the next gossip exchange so replication of that verdict is
+    /// attributable to the request that produced it.
+    gossip_ctx: Mutex<Option<TraceContext>>,
 }
 
 impl ServerState {
-    fn new(config: &SvcConfig) -> io::Result<ServerState> {
+    fn new(config: &SvcConfig, local_addr: SocketAddr) -> io::Result<ServerState> {
         let registry = Arc::new(MetricsRegistry::new());
         let cache = VerdictCache::new(&registry);
+        let node_id = config
+            .node_id
+            .clone()
+            .unwrap_or_else(|| minobs_obs::node_id_from_env(&local_addr.to_string()));
         let trace = match &config.trace_path {
-            Some(path) => TraceSink::File(JsonlSink::create(path)?),
+            Some(path) => {
+                let mut sink = JsonlSink::create(path)?;
+                sink.set_node_id(&node_id);
+                TraceSink::File(sink)
+            }
             None => TraceSink::None,
         };
         let state = ServerState {
             shutting_down: AtomicBool::new(false),
             seq: AtomicU64::new(0),
             metrics: Mutex::new(MetricsRecorder::new(Arc::clone(&registry))),
-            registry,
             cache,
             limits: config.limits,
             workers: config.workers,
@@ -218,6 +284,14 @@ impl ServerState {
             wal: Mutex::new(None),
             replay: None,
             peers: Mutex::new(PeerTable::new(&config.peers)),
+            node_id,
+            max_connections: config.max_connections.max(1),
+            slo_target_ns: config.slo_p99_ms.max(1).saturating_mul(1_000_000),
+            slo_violations: registry.counter("svc.slo_p99_violations"),
+            ready_gauge: registry.gauge("svc.ready"),
+            health_state: AtomicU64::new(u64::MAX),
+            gossip_ctx: Mutex::new(None),
+            registry,
         };
         state.open_wal(config)
     }
@@ -350,8 +424,40 @@ impl ServerState {
         self.started.elapsed().as_millis() as u64
     }
 
-    fn next_seq(&self) -> u64 {
+    pub(crate) fn next_seq(&self) -> u64 {
         self.seq.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// This node's stable identity (trace `node_id`, `health.node_id`).
+    pub fn node_id(&self) -> &str {
+        &self.node_id
+    }
+
+    /// The SLO p99 target, in milliseconds.
+    pub fn slo_p99_ms(&self) -> u64 {
+        self.slo_target_ns / 1_000_000
+    }
+
+    /// Timed responses that exceeded the SLO p99 target so far.
+    pub fn slo_violations(&self) -> u64 {
+        self.slo_violations.get()
+    }
+
+    /// The acceptor's connection cap (the health plane's queue bound).
+    pub fn max_connections(&self) -> usize {
+        self.max_connections
+    }
+
+    /// Takes the trace context stashed by the last cache-filling
+    /// request, if any, for the next gossip exchange to parent under.
+    pub(crate) fn take_gossip_ctx(&self) -> Option<TraceContext> {
+        lock(&self.gossip_ctx).take()
+    }
+
+    /// Stashes `ctx` for the next gossip exchange. Last writer wins;
+    /// gossip attribution is best-effort, not a queue.
+    pub(crate) fn stash_gossip_ctx(&self, ctx: TraceContext) {
+        *lock(&self.gossip_ctx) = Some(ctx);
     }
 
     fn on_request(&self, seq: u64, method: &str) {
@@ -375,6 +481,9 @@ impl ServerState {
         nanos: u64,
         spans: &[TraceEvent],
     ) {
+        if nanos > self.slo_target_ns {
+            self.slo_violations.add(1);
+        }
         {
             let mut metrics = lock(&self.metrics);
             for event in spans {
@@ -402,12 +511,78 @@ impl ServerState {
         lock(&self.peers).to_json()
     }
 
+    /// Evaluates the health plane and publishes it.
+    ///
+    /// * `live` — true whenever the daemon can run the evaluation;
+    /// * `ready` — the node should receive traffic: not draining, the
+    ///   backlog is below the connection cap, and (with peers
+    ///   configured) at least one peer is reachable;
+    /// * `status` — `"ok"` when ready with a healthy WAL and every peer
+    ///   alive, `"degraded"` otherwise.
+    ///
+    /// Sets the `svc.ready` gauge on every call and emits one
+    /// edge-triggered `health` trace event whenever the packed verdict
+    /// changes (including the first evaluation).
+    pub fn evaluate_health(&self) -> HealthReport {
+        let accepted = self.registry.counter("svc.requests").get();
+        let answered = self.registry.counter("svc.responses_ok").get()
+            + self.registry.counter("svc.responses_err").get();
+        let queued = accepted.saturating_sub(answered);
+        let (peer_count, peers_alive) = {
+            let peers = lock(&self.peers);
+            (peers.len(), peers.alive())
+        };
+        let wal_degraded = self.registry.gauge("svc.wal_degraded").get() != 0;
+        let ready = !self.draining()
+            && queued < self.max_connections as u64
+            && (peer_count == 0 || peers_alive > 0);
+        let status_ok = ready && !wal_degraded && peers_alive == peer_count;
+        let status = if status_ok { "ok" } else { "degraded" };
+        self.ready_gauge.set(ready as u64);
+        let packed = ready as u64 | ((status_ok as u64) << 1);
+        if self.health_state.swap(packed, Ordering::SeqCst) != packed {
+            lock(&self.metrics).on_health(status, ready, true);
+            if let TraceSink::File(sink) = &mut *lock(&self.trace) {
+                sink.on_health(status, ready, true);
+            }
+        }
+        HealthReport {
+            status,
+            ready,
+            live: true,
+            queued,
+            peers_alive,
+            peers_down: peer_count - peers_alive,
+            wal_degraded,
+        }
+    }
+
     /// Folds one completed gossip exchange into the peer table, the
-    /// metrics, and the trace.
-    pub(crate) fn gossip_success(&self, peer: &str, sent: u64, received: u64, lag: u64, nanos: u64) {
+    /// metrics, and the trace. `spans` carries the exchange's buffered
+    /// `gossip.exchange` span block (possibly ctx-stamped), flushed next
+    /// to its `gossip_round` under the same lock acquisitions so the
+    /// shared stream stays whole-block interleaved.
+    pub(crate) fn gossip_success(
+        &self,
+        peer: &str,
+        sent: u64,
+        received: u64,
+        lag: u64,
+        nanos: u64,
+        spans: &[TraceEvent],
+    ) {
         lock(&self.peers).record_success(peer, sent, received, lag);
-        lock(&self.metrics).on_gossip_round(peer, sent, received, nanos);
+        {
+            let mut metrics = lock(&self.metrics);
+            for event in spans {
+                replay_event(&mut *metrics, event);
+            }
+            metrics.on_gossip_round(peer, sent, received, nanos);
+        }
         if let TraceSink::File(sink) = &mut *lock(&self.trace) {
+            for event in spans {
+                sink.record(event.clone());
+            }
             sink.on_gossip_round(peer, sent, received, nanos);
         }
     }
@@ -458,7 +633,7 @@ pub fn serve(config: SvcConfig) -> io::Result<Server> {
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let local_addr = listener.local_addr()?;
-    let state = Arc::new(ServerState::new(&config)?);
+    let state = Arc::new(ServerState::new(&config, local_addr)?);
 
     let (job_tx, job_rx) = channel::unbounded::<Job>();
     let workers = (0..config.workers.max(1))
@@ -690,6 +865,7 @@ fn method_span(method: &str) -> &'static str {
         "stats" => "rpc.stats",
         "metrics" => "rpc.metrics",
         "gossip" => "rpc.gossip",
+        "health" => "rpc.health",
         "shutdown" => "rpc.shutdown",
         _ => "rpc.unknown",
     }
@@ -710,6 +886,7 @@ fn worker_loop(state: &Arc<ServerState>, rx: &Receiver<Job>) {
             None,
             method_span(&job.request.method),
         );
+        let root_span = span.as_ref().map(SpanGuard::id);
         let outcome = catch_unwind(AssertUnwindSafe(|| methods::handle(state, &job.request)));
         if let Some(span) = span {
             span.end(&mut request_spans);
@@ -722,13 +899,29 @@ fn worker_loop(state: &Arc<ServerState>, rx: &Receiver<Job>) {
         });
         let ok = result.is_ok();
         let nanos = (start.elapsed().as_nanos() as u64).max(1);
+        let mut events = request_spans.into_events();
+        if let Some(ctx) = &job.request.ctx {
+            // Adopt the caller's trace: the request root span joins the
+            // caller's trace_id and remembers the remote parent. Local
+            // parenting stays `None`, so per-stream span bracketing is
+            // untouched — `trace stitch` resolves the cross-node edge.
+            stamp_root_span(&mut events, ctx);
+            if ok && disposition == "miss" {
+                // A fresh verdict will ship on the next gossip round;
+                // stash a child context so that exchange is attributable
+                // to the request that produced the delta.
+                if let Some(root_span) = root_span {
+                    state.stash_gossip_ctx(ctx.child(root_span));
+                }
+            }
+        }
         state.on_response(
             job.seq,
             &job.request.method,
             ok,
             disposition,
             nanos,
-            request_spans.events(),
+            &events,
         );
         let reply = match result {
             Ok(value) => wire::ok_response(job.request.id, value),

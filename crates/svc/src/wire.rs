@@ -13,6 +13,7 @@
 //! The `id` is chosen by the client and echoed verbatim; the daemon
 //! answers frames on one connection in the order it received them.
 
+use minobs_obs::TraceContext;
 use serde_json::{Map, Value};
 use std::io::{self, Read, Write};
 
@@ -137,6 +138,10 @@ pub struct Request {
     pub method: String,
     /// Method parameters (an object, or `Null` when omitted).
     pub params: Value,
+    /// Distributed trace context, when the caller sent the additive
+    /// optional `ctx` envelope field. Malformed contexts read as `None`
+    /// rather than failing the request.
+    pub ctx: Option<TraceContext>,
 }
 
 /// Validates and decodes a request envelope.
@@ -158,7 +163,13 @@ pub fn parse_request(value: &Value) -> Result<Request, String> {
         .ok_or("missing \"method\"")?
         .to_string();
     let params = value.get("params").cloned().unwrap_or(Value::Null);
-    Ok(Request { id, method, params })
+    let ctx = value.get("ctx").and_then(TraceContext::from_json);
+    Ok(Request {
+        id,
+        method,
+        params,
+        ctx,
+    })
 }
 
 /// Builds a request envelope.
@@ -169,6 +180,15 @@ pub fn request(id: u64, method: &str, params: Value) -> Value {
     map.insert("method".to_string(), Value::from(method));
     map.insert("params".to_string(), params);
     Value::Object(map)
+}
+
+/// Builds a request envelope carrying a distributed trace context.
+pub fn request_with_ctx(id: u64, method: &str, params: Value, ctx: &TraceContext) -> Value {
+    let mut value = request(id, method, params);
+    if let Value::Object(map) = &mut value {
+        map.insert("ctx".to_string(), ctx.to_json());
+    }
+    value
 }
 
 /// Builds a success response envelope.
@@ -255,11 +275,35 @@ mod tests {
         assert_eq!(parsed.id, 9);
         assert_eq!(parsed.method, "solvable");
         assert!(parsed.params.is_null());
+        assert_eq!(parsed.ctx, None);
 
         let mut bad = Map::new();
         bad.insert("rpc".to_string(), Value::from("minobs/rpc/v0"));
         bad.insert("id".to_string(), Value::from(1u64));
         bad.insert("method".to_string(), Value::from("stats"));
         assert!(parse_request(&Value::Object(bad)).is_err());
+    }
+
+    #[test]
+    fn ctx_round_trips_through_the_envelope() {
+        let ctx = TraceContext {
+            trace_id: 0xdead_beef,
+            parent_span: Some(11),
+        };
+        let framed = request_with_ctx(3, "check_horizon", Value::Null, &ctx);
+        let parsed = parse_request(&framed).unwrap();
+        assert_eq!(parsed.ctx, Some(ctx));
+        assert_eq!(parsed.method, "check_horizon");
+    }
+
+    #[test]
+    fn malformed_ctx_is_ignored_not_fatal() {
+        let mut value = request(5, "stats", Value::Null);
+        if let Value::Object(map) = &mut value {
+            map.insert("ctx".to_string(), Value::from("not-an-object"));
+        }
+        let parsed = parse_request(&value).unwrap();
+        assert_eq!(parsed.id, 5);
+        assert_eq!(parsed.ctx, None, "bad ctx must not fail the request");
     }
 }

@@ -266,6 +266,113 @@ fn single_node_stats_report_an_empty_peer_table() {
     server.join();
 }
 
+/// End-to-end distributed tracing: one traced client request against a
+/// gossiping node must leave a single trace_id threaded across at least
+/// two nodes' trace files with a correct parent chain — the client's
+/// root context parents the serving node's `rpc.check_horizon` span,
+/// the replication `gossip.exchange` is ctx-parented on that rpc root,
+/// and the receiving node's `rpc.gossip` span is ctx-parented on the
+/// exchange. This is the fixture `trace stitch` reassembles.
+#[test]
+fn traced_request_threads_one_trace_id_across_nodes() {
+    let run = std::process::id();
+    let trace_paths: Vec<std::path::PathBuf> = (0..NODES)
+        .map(|i| std::env::temp_dir().join(format!("minobs-e2e-trace-{run}-{i}.jsonl")))
+        .collect();
+    let mut servers: Vec<Server> = Vec::with_capacity(NODES);
+    let mut addrs: Vec<String> = Vec::with_capacity(NODES);
+    for index in 0..NODES {
+        let server = serve(SvcConfig {
+            peers: addrs.clone(),
+            gossip_interval: GOSSIP_INTERVAL,
+            trace_path: Some(trace_paths[index].clone()),
+            node_id: Some(format!("node{index}")),
+            ..SvcConfig::default()
+        })
+        .expect("bind an ephemeral port");
+        addrs.push(server.local_addr().to_string());
+        servers.push(server);
+    }
+
+    // Target the last node: it is the only one gossiping to both
+    // others, so its miss is guaranteed to trigger a ctx-carrying
+    // exchange. `SvcClient::call` mints the root trace context.
+    let mut client = SvcClient::connect(addrs[NODES - 1].as_str()).unwrap();
+    let fresh = client
+        .call("check_horizon", check_params("r1", 3))
+        .unwrap();
+    assert_eq!(fresh.get("cached").and_then(Value::as_bool), Some(false));
+
+    // Full replication implies the serving node completed exchanges
+    // with every peer — including the one that carried the stashed ctx.
+    let replicated = wait_until(CONVERGE_DEADLINE, || {
+        servers
+            .iter()
+            .all(|server| !server.state().cache().snapshot().is_empty())
+    });
+    assert!(replicated, "verdict never replicated to every node");
+    // Shutdown flushes every node's buffered trace sink.
+    shutdown(servers);
+
+    // (node_id, span event) for every span_start across all files.
+    let mut spans: Vec<(String, Value)> = Vec::new();
+    for path in &trace_paths {
+        let text = std::fs::read_to_string(path).expect("trace file written");
+        for line in text.lines() {
+            let value: Value = serde_json::from_str(line).expect("valid JSONL");
+            let node = value
+                .get("node_id")
+                .and_then(Value::as_str)
+                .expect("every daemon line is node-stamped")
+                .to_string();
+            if value.get("event").and_then(Value::as_str) == Some("span_start") {
+                spans.push((node, value));
+            }
+        }
+        let _ = std::fs::remove_file(path);
+    }
+    let field = |v: &Value, k: &str| v.get(k).and_then(Value::as_u64);
+    let trace_of = |v: &Value| v.get("trace_id").and_then(Value::as_str).map(str::to_string);
+
+    // The client's request root: rpc.check_horizon on the serving node,
+    // stamped with the client's trace but with no remote parent (the
+    // client is the trace root and writes no file).
+    let (rpc_node, rpc) = spans
+        .iter()
+        .find(|(node, v)| {
+            node == "node2" && v.get("name").and_then(Value::as_str) == Some("rpc.check_horizon")
+        })
+        .expect("serving node recorded the rpc span");
+    let trace = trace_of(rpc).expect("rpc root carries the client's trace_id");
+    assert!(rpc.get("ctx_parent").is_none());
+    let rpc_span = field(rpc, "span_id").unwrap();
+
+    // The replication exchange on the same node, parented on the rpc root.
+    let (_, exchange) = spans
+        .iter()
+        .find(|(node, v)| {
+            node == rpc_node
+                && v.get("name").and_then(Value::as_str) == Some("gossip.exchange")
+                && trace_of(v).as_deref() == Some(trace.as_str())
+        })
+        .expect("serving node recorded a ctx-carrying gossip exchange");
+    assert_eq!(field(exchange, "ctx_parent"), Some(rpc_span));
+    let exchange_span = field(exchange, "span_id").unwrap();
+
+    // The receiving side: an rpc.gossip span on a *different* node,
+    // same trace, parented on the exchange span.
+    let (gossip_node, gossip) = spans
+        .iter()
+        .find(|(node, v)| {
+            node != rpc_node
+                && v.get("name").and_then(Value::as_str) == Some("rpc.gossip")
+                && trace_of(v).as_deref() == Some(trace.as_str())
+        })
+        .expect("a peer recorded the ctx-carrying rpc.gossip span");
+    assert_eq!(field(gossip, "ctx_parent"), Some(exchange_span));
+    assert_ne!(gossip_node, rpc_node, "the trace must cross nodes");
+}
+
 /// The tier-1 pinned-seed chaos check: one sampled partition plan,
 /// convergence after heal, tightening-only replication.
 #[test]
