@@ -4,17 +4,22 @@
 //! budget `B_4` checked at horizons 4 (unsolvable) and 5 (solvable) —
 //! a fixed number of iterations, timing every `solvable_by` call into a
 //! `minobs_obs::Histogram`, and emits a `minobs/bench/v1` artifact
-//! (kind `checker`). Run via `run_experiments.sh` this lands as
-//! `BENCH_checker.json` at the repo root: the recorded trajectory that
-//! future "10× checker" claims (ROADMAP item 4) must beat.
+//! (kind `checker`). One extra instrumented pass per horizon (outside
+//! the timed loop) captures the checker's shape gauges — peak frontier
+//! size, cumulative frontier entries, distinct interned views, and the
+//! resulting dedup ratio — so the artifact records not just how fast
+//! the checker is but how much work the view-dedup is saving. Run via
+//! `run_experiments.sh` this lands as `BENCH_checker.json` at the repo
+//! root: the recorded trajectory that future "10× checker" claims
+//! (ROADMAP item 4) must beat.
 //!
 //! ```text
 //! bench_checker [--iters N] [--out PATH]
 //! ```
 
 use minobs_core::prelude::*;
-use minobs_obs::Histogram;
-use minobs_synth::checker::{gamma_alphabet, solvable_by};
+use minobs_obs::{Histogram, MemoryRecorder, TraceEvent};
+use minobs_synth::checker::{gamma_alphabet, solvable_by, solvable_by_with_recorder};
 use serde_json::{Map, Value};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -50,6 +55,34 @@ fn main() -> ExitCode {
     println!("== BENCH-CHECKER: total_budget(4) at horizons {HORIZONS:?}, {iters} iterations ==");
     let gamma = gamma_alphabet();
     let scheme = classic::total_budget(4);
+
+    // One instrumented pass per horizon, outside the timed loop: the
+    // frontier trajectory is deterministic for the pinned config, and
+    // the recorder must not show up in the latency histogram.
+    let mut peak_frontier = 0u64;
+    let mut states_explored = 0u64;
+    let mut distinct_views = 0u64;
+    for k in HORIZONS {
+        let mut recorder = MemoryRecorder::new();
+        let solvable = solvable_by_with_recorder(&scheme, k, &gamma, &mut recorder).is_solvable();
+        assert_eq!(solvable, k == 5, "total_budget(4) at horizon {k} (instrumented)");
+        for event in recorder.events() {
+            if let TraceEvent::CheckerRound {
+                frontier, views, ..
+            } = *event
+            {
+                peak_frontier = peak_frontier.max(frontier as u64);
+                states_explored += frontier as u64;
+                distinct_views = distinct_views.max(views as u64);
+            }
+        }
+    }
+    let dedup_ratio = distinct_views as f64 / states_explored.max(1) as f64;
+    println!(
+        "  peak frontier {peak_frontier}; {states_explored} frontier entries → \
+         {distinct_views} distinct views (dedup ratio {dedup_ratio:.4})"
+    );
+
     let latency = Histogram::new(&Histogram::latency_bounds());
     let mut max_ns = 0u64;
     let started = Instant::now();
@@ -103,6 +136,12 @@ fn main() -> ExitCode {
     body.insert("elapsed_s", Value::from(elapsed_s));
     body.insert("achieved_qps", Value::from(achieved_qps));
     body.insert("latency_ns", Value::Object(block));
+    // Shape gauges from the instrumented pass: the memory/dedup face of
+    // the ROADMAP item-4 baseline.
+    body.insert("peak_frontier", Value::from(peak_frontier));
+    body.insert("states_explored", Value::from(states_explored));
+    body.insert("distinct_views", Value::from(distinct_views));
+    body.insert("dedup_ratio", Value::from(dedup_ratio));
 
     match minobs_bench::write_bench_artifact(out.as_deref(), "bench_checker", body) {
         Some(_) => ExitCode::SUCCESS,

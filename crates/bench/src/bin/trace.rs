@@ -1,7 +1,7 @@
 //! Offline analytics over minobs JSONL traces.
 //!
 //! ```text
-//! trace profile <trace.jsonl> [--flamegraph OUT.folded]
+//! trace profile <trace.jsonl> [--flamegraph OUT.folded] [--sampled]
 //! trace summary <trace.jsonl>
 //! trace diff <a.jsonl> <b.jsonl> [--threshold PCT]
 //! trace stitch <a.jsonl> <b.jsonl> ... [--flamegraph OUT.folded] [--strict]
@@ -12,14 +12,22 @@
 //! (run and request durations) the root spans cover, and optionally
 //! writes collapsed flamegraph lines (`a;b;c <self-nanos>`) for
 //! `flamegraph.pl`-style renderers. It exits non-zero when the trace
-//! has no spans at all, so CI can assert instrumented binaries stay
-//! instrumented.
+//! has no spans at all, or when root spans cover less than 90% of the
+//! wall-clock anchor, so CI can assert instrumented binaries stay
+//! instrumented end to end. The coverage gate is skipped for streams
+//! that are incomplete by design: tail-sampled daemon traces (detected
+//! via their `trace_sampled` marker), flight-recorder dumps whose
+//! `flight_dump` header says `sampled:true`, or any stream passed with
+//! an explicit `--sampled` flag.
 //!
 //! `summary` counts events by kind, rounds, and messages by status.
 //!
 //! `diff` compares two profiles per span name; with `--threshold PCT`
 //! it exits non-zero when any span's total time regressed by more than
-//! that percentage, making it usable as a CI perf gate.
+//! that percentage — or when a baseline span name is entirely absent
+//! from the candidate (a silently vanished instrumentation point is a
+//! worse regression than a slow one) — making it usable as a CI perf
+//! gate.
 //!
 //! `stitch` merges trace files from several nodes by `trace_id` and
 //! reconstructs each distributed request's cross-node span tree: a
@@ -40,7 +48,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  trace profile <trace.jsonl> [--flamegraph OUT.folded]\n  trace summary <trace.jsonl>\n  trace diff <a.jsonl> <b.jsonl> [--threshold PCT]\n  trace stitch <a.jsonl> <b.jsonl> ... [--flamegraph OUT.folded] [--strict]"
+        "usage:\n  trace profile <trace.jsonl> [--flamegraph OUT.folded] [--sampled]\n  trace summary <trace.jsonl>\n  trace diff <a.jsonl> <b.jsonl> [--threshold PCT]\n  trace stitch <a.jsonl> <b.jsonl> ... [--flamegraph OUT.folded] [--strict]"
     );
     ExitCode::FAILURE
 }
@@ -177,9 +185,34 @@ fn ms(ns: u64) -> f64 {
     ns as f64 / 1_000_000.0
 }
 
+/// Root spans must cover at least this much of the wall-clock anchor for
+/// an unsampled stream to pass `trace profile` — below it, instrumented
+/// request paths ran without emitting their spans.
+const MIN_ROOT_COVERAGE_PCT: f64 = 90.0;
+
+/// True when the stream declares itself incomplete by design: it carries
+/// a `trace_sampled` marker (tail-sampled daemon trace) or a
+/// `flight_dump` header with `sampled:true` (dump of a sampled node).
+fn stream_sampled(events: &[Value]) -> bool {
+    events
+        .iter()
+        .any(|event| match event.get("event").and_then(Value::as_str) {
+            Some("trace_sampled") => true,
+            Some("flight_dump") => event.get("sampled").and_then(Value::as_bool) == Some(true),
+            _ => false,
+        })
+}
+
+/// Root-span coverage of the wall clock as a percentage, or `None` when
+/// the trace has no timed run/request anchor to compare against.
+fn root_coverage_pct(prof: &Profile) -> Option<f64> {
+    (prof.wall_ns > 0).then(|| prof.root_ns as f64 / prof.wall_ns as f64 * 100.0)
+}
+
 fn profile_cmd(args: &[String]) -> ExitCode {
     let mut path = None;
     let mut flamegraph = None;
+    let mut sampled_flag = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -187,6 +220,7 @@ fn profile_cmd(args: &[String]) -> ExitCode {
                 Some(out) => flamegraph = Some(out.clone()),
                 None => return usage(),
             },
+            "--sampled" => sampled_flag = true,
             text if path.is_none() => path = Some(text.to_string()),
             _ => return usage(),
         }
@@ -233,12 +267,23 @@ fn profile_cmd(args: &[String]) -> ExitCode {
             stat.total_ns as f64 / prof.root_ns.max(1) as f64 * 100.0
         );
     }
-    if prof.wall_ns > 0 {
+    if let Some(coverage) = root_coverage_pct(&prof) {
         println!(
-            "  wall-clock {:.3} ms, root spans cover {:.1}%",
-            ms(prof.wall_ns),
-            prof.root_ns as f64 / prof.wall_ns as f64 * 100.0
+            "  wall-clock {:.3} ms, root spans cover {coverage:.1}%",
+            ms(prof.wall_ns)
         );
+        if coverage < MIN_ROOT_COVERAGE_PCT {
+            if sampled_flag || stream_sampled(&events) {
+                println!("  (coverage gate skipped: sampled stream)");
+            } else {
+                eprintln!(
+                    "trace profile: {path}: root spans cover {coverage:.1}% of wall-clock, \
+                     need >= {MIN_ROOT_COVERAGE_PCT}% — requests ran without emitting spans \
+                     (pass --sampled for tail-sampled streams)"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
     } else {
         println!(
             "  no wall-clock anchor (no timed run_end/svc_response); span self-time {:.3} ms",
@@ -361,6 +406,11 @@ fn diff_cmd(args: &[String]) -> ExitCode {
                     "-",
                     "removed"
                 );
+                // A vanished instrumentation point is a regression in its
+                // own right: under a gate it fails, flagged as infinite.
+                if threshold.is_some() {
+                    regressed.push((name.clone(), f64::INFINITY));
+                }
             }
             (None, Some(sb)) => {
                 println!(
@@ -377,7 +427,13 @@ fn diff_cmd(args: &[String]) -> ExitCode {
     if !regressed.is_empty() {
         let threshold = threshold.unwrap_or(0.0);
         for (name, delta) in &regressed {
-            eprintln!("trace diff: {name} regressed {delta:+.1}% (threshold {threshold}%)");
+            if delta.is_infinite() {
+                eprintln!(
+                    "trace diff: {name} present in baseline but absent from candidate (threshold {threshold}%)"
+                );
+            } else {
+                eprintln!("trace diff: {name} regressed {delta:+.1}% (threshold {threshold}%)");
+            }
         }
         return ExitCode::FAILURE;
     }
@@ -797,6 +853,126 @@ mod tests {
             r#"{"event":"span_start","round":0,"span_id":0,"parent":null,"name":"a"}"#,
         )];
         assert!(profile(&unclosed).unwrap_err().contains("still open"));
+    }
+
+    #[test]
+    fn sampled_streams_are_detected_by_their_markers() {
+        let plain = vec![event(
+            r#"{"event":"span_start","round":0,"span_id":0,"parent":null,"name":"a"}"#,
+        )];
+        assert!(!stream_sampled(&plain));
+        let tail = vec![event(
+            r#"{"event":"trace_sampled","round":0,"sample":0.01,"slow_ms":50}"#,
+        )];
+        assert!(stream_sampled(&tail));
+        let sampled_dump = vec![event(
+            r#"{"event":"flight_dump","round":0,"reason":"rpc","events":1,"dropped":0,"truncated":0,"sampled":true}"#,
+        )];
+        assert!(stream_sampled(&sampled_dump));
+        // A dump from an unsampled node records everything: full
+        // coverage is still expected of it.
+        let full_dump = vec![event(
+            r#"{"event":"flight_dump","round":0,"reason":"rpc","events":1,"dropped":0,"truncated":0,"sampled":false}"#,
+        )];
+        assert!(!stream_sampled(&full_dump));
+    }
+
+    #[test]
+    fn root_coverage_is_rooted_at_the_wall_anchor() {
+        let events = vec![
+            event(r#"{"event":"span_start","round":0,"span_id":0,"parent":null,"name":"rpc.stats"}"#),
+            event(r#"{"event":"span_end","round":0,"span_id":0,"name":"rpc.stats","nanos":100}"#),
+            event(
+                r#"{"event":"svc_response","round":0,"seq":0,"method":"stats","ok":true,"cache":"none","nanos":1000}"#,
+            ),
+        ];
+        let prof = profile(&events).unwrap();
+        assert_eq!(root_coverage_pct(&prof), Some(10.0));
+        // No timed anchor → nothing to gate against.
+        let prof = profile(&events[..2]).unwrap();
+        assert_eq!(root_coverage_pct(&prof), None);
+    }
+
+    fn write_temp(tag: &str, body: &str) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("minobs_trace_{tag}_{}.jsonl", std::process::id()));
+        std::fs::write(&path, body).unwrap();
+        path
+    }
+
+    fn exit_of(code: ExitCode) -> String {
+        format!("{code:?}")
+    }
+
+    #[test]
+    fn profile_gates_on_root_coverage_unless_sampled() {
+        // Root span covers 10% of the 1000 ns request: fails the gate.
+        let low = concat!(
+            r#"{"event":"span_start","round":0,"span_id":0,"parent":null,"name":"rpc.stats"}"#,
+            "\n",
+            r#"{"event":"span_end","round":0,"span_id":0,"name":"rpc.stats","nanos":100}"#,
+            "\n",
+            r#"{"event":"svc_response","round":0,"seq":0,"method":"stats","ok":true,"cache":"none","nanos":1000}"#,
+            "\n",
+        );
+        let bare = write_temp("cov_bare", low);
+        assert_eq!(
+            exit_of(profile_cmd(&[bare.display().to_string()])),
+            exit_of(ExitCode::FAILURE)
+        );
+        // The --sampled flag waives the gate for the same stream.
+        assert_eq!(
+            exit_of(profile_cmd(&[bare.display().to_string(), "--sampled".to_string()])),
+            exit_of(ExitCode::SUCCESS)
+        );
+        // So does an in-stream trace_sampled marker.
+        let marked = write_temp(
+            "cov_marked",
+            &format!(
+                "{}\n{low}",
+                r#"{"event":"trace_sampled","round":0,"sample":0.01,"slow_ms":50}"#
+            ),
+        );
+        assert_eq!(
+            exit_of(profile_cmd(&[marked.display().to_string()])),
+            exit_of(ExitCode::SUCCESS)
+        );
+        std::fs::remove_file(&bare).ok();
+        std::fs::remove_file(&marked).ok();
+    }
+
+    #[test]
+    fn diff_fails_under_threshold_when_a_baseline_span_vanishes() {
+        let baseline = write_temp(
+            "diff_base",
+            concat!(
+                r#"{"event":"span_start","round":0,"span_id":0,"parent":null,"name":"gone"}"#,
+                "\n",
+                r#"{"event":"span_end","round":0,"span_id":0,"name":"gone","nanos":100}"#,
+                "\n",
+            ),
+        );
+        let candidate = write_temp(
+            "diff_cand",
+            concat!(
+                r#"{"event":"span_start","round":0,"span_id":0,"parent":null,"name":"other"}"#,
+                "\n",
+                r#"{"event":"span_end","round":0,"span_id":0,"name":"other","nanos":100}"#,
+                "\n",
+            ),
+        );
+        let gated = [
+            baseline.display().to_string(),
+            candidate.display().to_string(),
+            "--threshold".to_string(),
+            "10".to_string(),
+        ];
+        assert_eq!(exit_of(diff_cmd(&gated)), exit_of(ExitCode::FAILURE));
+        // Without a gate the removal is reported but not fatal.
+        let ungated = [baseline.display().to_string(), candidate.display().to_string()];
+        assert_eq!(exit_of(diff_cmd(&ungated)), exit_of(ExitCode::SUCCESS));
+        std::fs::remove_file(&baseline).ok();
+        std::fs::remove_file(&candidate).ok();
     }
 
     #[test]

@@ -55,7 +55,7 @@ impl TraceContext {
             hi.write_u64(0x6d69_6e6f_6273); // "minobs"
             let mut lo = std::collections::hash_map::RandomState::new().build_hasher();
             lo.write_u64(salt.rotate_left(17));
-            lo.write_u64(0x7472_6163_65); // "trace"
+            lo.write_u64(0x0074_7261_6365); // "trace"
             id = (u128::from(hi.finish()) << 64) | u128::from(lo.finish());
         }
         TraceContext {

@@ -303,6 +303,34 @@ pub enum TraceEvent {
         /// running daemon; the field exists so probes share one shape).
         live: bool,
     },
+    /// A flight-recorder ring was snapshotted into a trace dump. Emitted
+    /// as the first line of every dump so tooling can tell a bounded
+    /// retrospective capture from a complete stream. `round` is always 0.
+    FlightDump {
+        /// What triggered the dump: `"rpc"`, `"wal_degraded"`,
+        /// `"peer_down"`, `"health_edge"`, or `"panic"`.
+        reason: String,
+        /// Events in the dump after the well-formedness pass.
+        events: u64,
+        /// Events discarded by the pass (ends whose start was evicted,
+        /// unpaired request/response halves).
+        dropped: u64,
+        /// Still-open spans closed with a synthesized, `truncated:true`
+        /// span_end.
+        truncated: u64,
+        /// Whether the stream behind this dump was tail-sampled (so
+        /// coverage checks must not expect every request).
+        sampled: bool,
+    },
+    /// Tail-based trace sampling is active on this stream. Written once
+    /// at sink start so offline tooling (`trace profile`) knows dropped
+    /// requests are policy, not data loss. `round` is always 0.
+    TraceSampled {
+        /// Keep probability for unremarkable traces, in `[0, 1]`.
+        sample: f64,
+        /// Root spans at or above this many milliseconds are always kept.
+        slow_ms: u64,
+    },
 }
 
 impl TraceEvent {
@@ -331,6 +359,8 @@ impl TraceEvent {
             TraceEvent::GossipApply { .. } => "gossip_apply",
             TraceEvent::PeerDown { .. } => "peer_down",
             TraceEvent::Health { .. } => "health",
+            TraceEvent::FlightDump { .. } => "flight_dump",
+            TraceEvent::TraceSampled { .. } => "trace_sampled",
         }
     }
 
@@ -347,7 +377,9 @@ impl TraceEvent {
             | TraceEvent::GossipRound { .. }
             | TraceEvent::GossipApply { .. }
             | TraceEvent::PeerDown { .. }
-            | TraceEvent::Health { .. } => 0,
+            | TraceEvent::Health { .. }
+            | TraceEvent::FlightDump { .. }
+            | TraceEvent::TraceSampled { .. } => 0,
             TraceEvent::Message { round, .. }
             | TraceEvent::Decision { round, .. }
             | TraceEvent::RoundEnd { round, .. }
@@ -537,6 +569,23 @@ impl TraceEvent {
                 map.insert("ready".to_string(), Value::from(*ready));
                 map.insert("live".to_string(), Value::from(*live));
             }
+            TraceEvent::FlightDump {
+                reason,
+                events,
+                dropped,
+                truncated,
+                sampled,
+            } => {
+                map.insert("reason".to_string(), Value::from(reason.as_str()));
+                map.insert("events".to_string(), Value::from(*events));
+                map.insert("dropped".to_string(), Value::from(*dropped));
+                map.insert("truncated".to_string(), Value::from(*truncated));
+                map.insert("sampled".to_string(), Value::from(*sampled));
+            }
+            TraceEvent::TraceSampled { sample, slow_ms } => {
+                map.insert("sample".to_string(), Value::from(*sample));
+                map.insert("slow_ms".to_string(), Value::from(*slow_ms));
+            }
         }
         Value::Object(map)
     }
@@ -679,6 +728,17 @@ mod tests {
                 status: "degraded".to_string(),
                 ready: false,
                 live: true,
+            },
+            TraceEvent::FlightDump {
+                reason: "wal_degraded".to_string(),
+                events: 64,
+                dropped: 2,
+                truncated: 1,
+                sampled: true,
+            },
+            TraceEvent::TraceSampled {
+                sample: 0.01,
+                slow_ms: 250,
             },
         ];
         for event in &events {

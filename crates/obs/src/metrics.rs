@@ -71,6 +71,11 @@ pub struct Histogram {
     buckets: Vec<AtomicU64>,
     count: AtomicU64,
     sum: AtomicU64,
+    /// Per-bucket exemplars: the most recent `(trace_id, value)` whose
+    /// observation landed in that bucket (overflow bucket last). Fed only
+    /// by the explicit [`Histogram::record_exemplar`] call, so `observe`
+    /// on the hot path stays lock-free.
+    exemplars: Mutex<Vec<Option<(u128, u64)>>>,
 }
 
 impl Histogram {
@@ -83,6 +88,7 @@ impl Histogram {
             buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            exemplars: Mutex::new(vec![None; bounds.len() + 1]),
         }
     }
 
@@ -128,6 +134,37 @@ impl Histogram {
         self.buckets[index].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Attaches `trace_id` as the exemplar of the bucket `value` lands
+    /// in, overwriting that bucket's previous exemplar. Callers that can
+    /// name the trace behind an observation call this *alongside*
+    /// [`Histogram::observe`]; the counts themselves are untouched.
+    pub fn record_exemplar(&self, value: u64, trace_id: u128) {
+        let index = self.bounds.partition_point(|&bound| bound < value);
+        let mut exemplars = self.exemplars.lock().unwrap_or_else(|e| e.into_inner());
+        exemplars[index] = Some((trace_id, value));
+    }
+
+    /// Per-bucket exemplars (overflow bucket last): the most recent
+    /// `(trace_id, value)` recorded into each bucket, if any.
+    pub fn exemplars(&self) -> Vec<Option<(u128, u64)>> {
+        self.exemplars
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// The exemplar of the highest bucket holding one — the trace id of
+    /// the slowest observation anyone bothered to exemplify, which is
+    /// the one an investigation wants first.
+    pub fn slowest_exemplar(&self) -> Option<(u128, u64)> {
+        self.exemplars
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .rev()
+            .find_map(|slot| *slot)
     }
 
     /// Observations recorded so far.
@@ -325,6 +362,11 @@ impl MetricsRegistry {
     /// `+Inf`) plus `_sum` and `_count`. Metric names are sanitised to the
     /// Prometheus charset (`.` becomes `_`); the original registry name is
     /// kept in the `# HELP` line.
+    ///
+    /// Finite bucket lines carry their exemplar, when one was recorded,
+    /// in the OpenMetrics syntax: `... # {trace_id="<32 hex>"} <value>`.
+    /// The `+Inf` line never does — it stays machine-trivial to parse,
+    /// and the overflow exemplar is reachable via `stats.latency`.
     pub fn render_text(&self) -> String {
         use std::fmt::Write as _;
 
@@ -363,10 +405,21 @@ impl MetricsRegistry {
             let _ = writeln!(out, "# HELP {id} minobs histogram `{name}`");
             let _ = writeln!(out, "# TYPE {id} histogram");
             let counts = histogram.bucket_counts();
+            let exemplars = histogram.exemplars();
             let mut cumulative = 0u64;
-            for (bound, count) in histogram.bounds().iter().zip(&counts) {
+            for (index, (bound, count)) in histogram.bounds().iter().zip(&counts).enumerate() {
                 cumulative += count;
-                let _ = writeln!(out, "{id}_bucket{{le=\"{bound}\"}} {cumulative}");
+                match exemplars.get(index).copied().flatten() {
+                    Some((trace_id, value)) => {
+                        let _ = writeln!(
+                            out,
+                            "{id}_bucket{{le=\"{bound}\"}} {cumulative} # {{trace_id=\"{trace_id:032x}\"}} {value}"
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(out, "{id}_bucket{{le=\"{bound}\"}} {cumulative}");
+                    }
+                }
             }
             cumulative += counts.last().copied().unwrap_or(0);
             let _ = writeln!(out, "{id}_bucket{{le=\"+Inf\"}} {cumulative}");
@@ -861,6 +914,33 @@ mod tests {
             .and_then(|n| n.parse().ok())
             .unwrap();
         assert_eq!(inf, h.count());
+    }
+
+    #[test]
+    fn exemplars_surface_in_render_text_but_not_on_inf() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("svc.request_latency_ns", &[10, 100]);
+        h.observe(50);
+        h.record_exemplar(50, 0xabc);
+        h.observe(5_000); // overflow observation, exemplified
+        h.record_exemplar(5_000, 0xdef);
+
+        let text = registry.render_text();
+        assert!(
+            text.contains(
+                "svc_request_latency_ns_bucket{le=\"100\"} 1 # {trace_id=\"00000000000000000000000000000abc\"} 50"
+            ),
+            "{text}"
+        );
+        // The +Inf line stays bare even though the overflow bucket holds
+        // an exemplar; it is still reachable programmatically.
+        assert!(text.contains("svc_request_latency_ns_bucket{le=\"+Inf\"} 2\n"));
+        assert_eq!(h.slowest_exemplar(), Some((0xdef, 5_000)));
+        // A newer observation in the same bucket replaces the exemplar.
+        h.record_exemplar(60, 0x123);
+        assert_eq!(h.exemplars()[1], Some((0x123, 60)));
+        // Exemplars never perturb the counts.
+        assert_eq!(h.count(), 2);
     }
 
     #[test]

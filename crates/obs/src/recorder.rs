@@ -473,6 +473,13 @@ pub fn replay_event<R: Recorder + ?Sized>(recorder: &mut R, event: &TraceEvent) 
             ready,
             live,
         } => recorder.on_health(status, *ready, *live),
+        // Flight-recorder bookkeeping has no dedicated hook: these events
+        // annotate a stream rather than observe the system, so replay
+        // funnels them straight through `record` and aggregators that
+        // only override hooks ignore them.
+        TraceEvent::FlightDump { .. } | TraceEvent::TraceSampled { .. } => {
+            recorder.record(event.clone())
+        }
     }
 }
 
@@ -558,6 +565,11 @@ impl MemoryRecorder {
             // Health flips keep emission order: they are edge-triggered
             // lifecycle marks like the WAL ones.
             TraceEvent::Health { .. } => (0, 13, 0, 0),
+            // Flight-recorder marks are stream annotations in emission
+            // order: a dump header precedes its events, a sampling mark
+            // opens its stream.
+            TraceEvent::FlightDump { .. } => (0, 14, 0, 0),
+            TraceEvent::TraceSampled { .. } => (0, 15, 0, 0),
         });
         events
     }

@@ -12,6 +12,7 @@
 //! svc top [--addr HOST:PORT] [--interval SECS] [--iterations N]
 //!         [--no-clear] [--cluster]
 //! svc metrics [--addr HOST:PORT] [--all]
+//! svc dump [--addr HOST:PORT] [--all] [--out DIR]
 //! ```
 //!
 //! The address defaults to `MINOBS_SVC_ADDR`. `bench` has two modes with
@@ -42,6 +43,11 @@
 //! `metrics` prints a daemon's Prometheus exposition; `--all` walks the
 //! discovered fleet and prints every node's, separated by `# ---- node`
 //! comment lines.
+//!
+//! `dump` fetches a daemon's flight-recorder snapshot (`dump_trace`) as
+//! `minobs/trace/v1` JSONL; `--all` walks the discovered fleet and
+//! `--out DIR` writes one `<node>.trace.jsonl` per node — ready for
+//! `trace stitch` to reassemble a cross-node incident trace.
 
 use minobs_obs::Histogram;
 use minobs_svc::client::{RetryPolicy, SvcClient, SvcError};
@@ -56,7 +62,7 @@ use std::time::{Duration, Instant};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  svc call <method> [params-json] [--addr HOST:PORT] [--timeout S] [--connect-timeout S] [--retries N]\n  svc bench [--addr HOST:PORT] [--threads N] [--requests M] [--method NAME] [--params JSON]\n  svc bench --open-loop --freq N [--duration S] [--threads N] [--mix m1=w1,m2=w2] [--inflight-cap N] [--tick S] [--out PATH] [--id NAME]\n  svc bench --sweep lo:hi:steps [--duration S] [--p99-bound-ms X] [--expect-knee] [open-loop flags]\n  svc top [--addr HOST:PORT] [--interval SECS] [--iterations N] [--no-clear] [--cluster]\n  svc metrics [--addr HOST:PORT] [--all]"
+        "usage:\n  svc call <method> [params-json] [--addr HOST:PORT] [--timeout S] [--connect-timeout S] [--retries N]\n  svc bench [--addr HOST:PORT] [--threads N] [--requests M] [--method NAME] [--params JSON]\n  svc bench --open-loop --freq N [--duration S] [--threads N] [--mix m1=w1,m2=w2] [--inflight-cap N] [--tick S] [--out PATH] [--id NAME]\n  svc bench --sweep lo:hi:steps [--duration S] [--p99-bound-ms X] [--expect-knee] [open-loop flags]\n  svc top [--addr HOST:PORT] [--interval SECS] [--iterations N] [--no-clear] [--cluster]\n  svc metrics [--addr HOST:PORT] [--all]\n  svc dump [--addr HOST:PORT] [--all] [--out DIR]"
     );
     ExitCode::FAILURE
 }
@@ -79,6 +85,7 @@ fn main() -> ExitCode {
         Some("bench") => bench(&args[1..]),
         Some("top") => top(&args[1..]),
         Some("metrics") => metrics_cmd(&args[1..]),
+        Some("dump") => dump_cmd(&args[1..]),
         _ => usage(),
     }
 }
@@ -1245,6 +1252,124 @@ fn metrics_cmd(args: &[String]) -> ExitCode {
     }
 }
 
+/// A filesystem-safe file stem for a node identity (`host:port` and
+/// friends): everything outside `[A-Za-z0-9._-]` becomes `-`.
+fn node_file_stem(node_id: &str) -> String {
+    let stem: String = node_id
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    if stem.is_empty() {
+        "node".to_string()
+    } else {
+        stem
+    }
+}
+
+fn dump_cmd(args: &[String]) -> ExitCode {
+    let mut addr = env_addr();
+    let mut all = false;
+    let mut out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(a) => addr = Some(a.clone()),
+                None => return usage(),
+            },
+            "--all" => all = true,
+            "--out" => match it.next() {
+                Some(p) => out = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("svc dump: no address (pass --addr or set MINOBS_SVC_ADDR)");
+        return ExitCode::FAILURE;
+    };
+    let targets = if all {
+        match fetch(&addr, "stats") {
+            Ok(stats) => discover_fleet(&addr, &stats),
+            Err(err) => {
+                eprintln!("svc dump: stats from {addr} failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        vec![addr.clone()]
+    };
+    if let Some(dir) = &out {
+        if let Err(err) = std::fs::create_dir_all(dir) {
+            eprintln!("svc dump: cannot create {}: {err}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut failures = 0usize;
+    for node in &targets {
+        let reply = match fetch(node, "dump_trace") {
+            Ok(reply) => reply,
+            Err(err) => {
+                eprintln!("svc dump: {node}: {err}");
+                failures += 1;
+                continue;
+            }
+        };
+        let jsonl = match reply.get("jsonl").and_then(Value::as_str) {
+            Some(jsonl) => jsonl,
+            None => {
+                eprintln!("svc dump: {node}: daemon returned no jsonl");
+                failures += 1;
+                continue;
+            }
+        };
+        let node_id = reply
+            .get("node_id")
+            .and_then(Value::as_str)
+            .unwrap_or(node.as_str());
+        let events = reply.get("events").and_then(Value::as_u64).unwrap_or(0);
+        let truncated = reply
+            .get("truncated_spans")
+            .and_then(Value::as_u64)
+            .unwrap_or(0);
+        match &out {
+            Some(dir) => {
+                let path = dir.join(format!("{}.trace.jsonl", node_file_stem(node_id)));
+                if let Err(err) = std::fs::write(&path, jsonl.as_bytes()) {
+                    eprintln!("svc dump: cannot write {}: {err}", path.display());
+                    failures += 1;
+                    continue;
+                }
+                eprintln!(
+                    "svc dump: {node} [{node_id}] → {} ({events} events, {truncated} truncated spans)",
+                    path.display()
+                );
+            }
+            None => {
+                if targets.len() > 1 {
+                    println!("# ---- node {node} [{node_id}] ----");
+                }
+                print!("{jsonl}");
+                if !jsonl.is_empty() && !jsonl.ends_with('\n') {
+                    println!();
+                }
+            }
+        }
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn run_thread(addr: &str, method: &str, params: &Value, requests: usize) -> ThreadOutcome {
     let mut outcome = ThreadOutcome {
         latency: Histogram::new(&Histogram::latency_bounds()),
@@ -1311,6 +1436,13 @@ mod tests {
             }"#,
         )
         .unwrap()
+    }
+
+    #[test]
+    fn node_file_stem_is_filesystem_safe() {
+        assert_eq!(node_file_stem("127.0.0.1:7401"), "127.0.0.1-7401");
+        assert_eq!(node_file_stem("a/b\\c d"), "a-b-c-d");
+        assert_eq!(node_file_stem(""), "node");
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub fn handle(state: &ServerState, request: &Request) -> (Result<Value, RpcError
         "simulate" => (simulate(params), "none"),
         "stats" => (Ok(stats(state)), "none"),
         "health" => (Ok(health(state)), "none"),
+        "dump_trace" => (Ok(dump_trace(state)), "none"),
         "gossip" => (crate::gossip::handle(state, params), "none"),
         "metrics" => (
             Ok(obj(&[(
@@ -630,6 +631,21 @@ fn stats(state: &ServerState) -> Value {
     ])
 }
 
+/// `dump_trace`: snapshot the flight ring into well-formed
+/// `minobs/trace/v1` JSONL. The dump is inlined in the response (one
+/// string, headed by a `flight_dump` meta line), so `svc dump` needs no
+/// filesystem access on the daemon's side.
+fn dump_trace(state: &ServerState) -> Value {
+    let snapshot = state.flight().dump("rpc");
+    obj(&[
+        ("node_id", Value::from(state.node_id())),
+        ("events", Value::from(snapshot.events)),
+        ("dropped", Value::from(snapshot.dropped)),
+        ("truncated_spans", Value::from(snapshot.truncated)),
+        ("jsonl", Value::from(snapshot.jsonl)),
+    ])
+}
+
 /// `health`: the liveness/readiness probe plus SLO burn counters.
 /// Evaluating publishes the `svc.ready` gauge and, on any verdict
 /// change, an edge-triggered `health` trace event — so polling this
@@ -713,15 +729,18 @@ fn latency_summary(state: &ServerState) -> Value {
         if count == 0 {
             continue;
         }
-        methods.insert(
-            method.to_string(),
-            obj(&[
-                ("count", Value::from(count)),
-                ("p50_ns", quantile(0.50)),
-                ("p95_ns", quantile(0.95)),
-                ("p99_ns", quantile(0.99)),
-            ]),
-        );
+        let mut entry = vec![
+            ("count", Value::from(count)),
+            ("p50_ns", quantile(0.50)),
+            ("p95_ns", quantile(0.95)),
+            ("p99_ns", quantile(0.99)),
+        ];
+        // The most recent kept trace that landed in the slowest occupied
+        // bucket: the jump-off point from a quantile to a concrete trace.
+        if let Some((trace_id, _)) = histogram.slowest_exemplar() {
+            entry.push(("exemplar_trace_id", Value::from(format!("{trace_id:032x}"))));
+        }
+        methods.insert(method.to_string(), obj(&entry));
     }
     Value::Object(methods)
 }

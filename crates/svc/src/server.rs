@@ -22,8 +22,9 @@ use crate::wire::{self, Request};
 use crossbeam::channel::{self, Receiver, Sender};
 use minobs_cluster::{LinkPolicy, PeerTable};
 use minobs_obs::{
-    replay_event, stamp_root_span, Counter, Gauge, JsonlSink, MemoryRecorder, MetricsRecorder,
-    MetricsRegistry, Recorder, SpanGuard, SpanIds, TraceContext, TraceEvent,
+    replay_event, sample_keep, stamp_root_span, Counter, FlightRecorder, Gauge, Histogram,
+    JsonlSink, MemoryRecorder, MetricsRecorder, MetricsRegistry, Recorder, SpanGuard, SpanIds,
+    TraceContext, TraceEvent,
 };
 use serde_json::Value;
 use std::fs::File;
@@ -100,6 +101,20 @@ pub struct SvcConfig {
     /// The p99 latency target the SLO burn counter
     /// (`svc.slo_p99_violations`) measures against, in milliseconds.
     pub slo_p99_ms: u64,
+    /// Flight-recorder ring capacity in events. The ring is always on;
+    /// this only bounds how much history a dump can recover.
+    pub flight_events: usize,
+    /// Where automatic flight dumps land on panic, WAL degradation,
+    /// `peer_down`, and degrading health edges; unset disables auto-dumps
+    /// (the `dump_trace` RPC still works).
+    pub flight_dir: Option<PathBuf>,
+    /// Tail-sampling keep probability for unremarkable request traces in
+    /// `[0, 1]`; `1.0` (the default) keeps every trace, preserving
+    /// pre-sampling behaviour byte for byte.
+    pub trace_sample: f64,
+    /// Root requests at or above this many milliseconds are always kept
+    /// regardless of `trace_sample`; `None` falls back to `slo_p99_ms`.
+    pub trace_slow_ms: Option<u64>,
 }
 
 impl Default for SvcConfig {
@@ -116,6 +131,10 @@ impl Default for SvcConfig {
             link_policy: None,
             node_id: None,
             slo_p99_ms: 50,
+            flight_events: minobs_obs::DEFAULT_FLIGHT_EVENTS,
+            flight_dir: None,
+            trace_sample: 1.0,
+            trace_slow_ms: None,
         }
     }
 }
@@ -137,8 +156,14 @@ impl SvcConfig {
     /// cluster peers; unset = single-node), `MINOBS_SVC_GOSSIP_MS`
     /// (anti-entropy interval, default 500, clamped to `[10, 60000]`),
     /// `MINOBS_NODE_ID` (stable node identity; default: the bound
-    /// `host:port`), and `MINOBS_SVC_SLO_P99_MS` (SLO p99 target,
-    /// default 50, clamped to `[1, 60000]`).
+    /// `host:port`), `MINOBS_SVC_SLO_P99_MS` (SLO p99 target,
+    /// default 50, clamped to `[1, 60000]`), `MINOBS_FLIGHT_EVENTS`
+    /// (flight-ring capacity, default 65536, clamped to `[64, 1048576]`),
+    /// `MINOBS_FLIGHT_DIR` (auto-dump directory; unset = no auto-dumps),
+    /// `MINOBS_TRACE_SAMPLE` (tail-sampling keep probability, default
+    /// 1.0, clamped to `[0, 1]`), and `MINOBS_TRACE_SLOW_MS`
+    /// (always-keep latency threshold; default: the SLO p99 target; `0`
+    /// keeps every timed request).
     pub fn from_env() -> SvcConfig {
         let mut config = SvcConfig::default();
         if let Ok(addr) = std::env::var("MINOBS_SVC_ADDR") {
@@ -187,6 +212,28 @@ impl SvcConfig {
         if let Ok(target) = std::env::var("MINOBS_SVC_SLO_P99_MS") {
             if let Ok(ms) = target.trim().parse::<u64>() {
                 config.slo_p99_ms = ms.clamp(1, 60_000);
+            }
+        }
+        if let Ok(events) = std::env::var("MINOBS_FLIGHT_EVENTS") {
+            if let Ok(n) = events.trim().parse::<usize>() {
+                config.flight_events = n.clamp(64, 1_048_576);
+            }
+        }
+        if let Ok(dir) = std::env::var("MINOBS_FLIGHT_DIR") {
+            if !dir.trim().is_empty() {
+                config.flight_dir = Some(PathBuf::from(dir.trim()));
+            }
+        }
+        if let Ok(sample) = std::env::var("MINOBS_TRACE_SAMPLE") {
+            if let Ok(p) = sample.trim().parse::<f64>() {
+                if p.is_finite() {
+                    config.trace_sample = p.clamp(0.0, 1.0);
+                }
+            }
+        }
+        if let Ok(slow) = std::env::var("MINOBS_TRACE_SLOW_MS") {
+            if let Ok(ms) = slow.trim().parse::<u64>() {
+                config.trace_slow_ms = Some(ms);
             }
         }
         config
@@ -254,6 +301,18 @@ pub struct ServerState {
     /// for the next gossip exchange so replication of that verdict is
     /// attributable to the request that produced it.
     gossip_ctx: Mutex<Option<TraceContext>>,
+    /// The always-on flight ring: a bounded copy of everything the trace
+    /// plane sees (sampled or not), snapshotted by `dump_trace` and the
+    /// auto-dump triggers.
+    flight: FlightRecorder,
+    /// Where auto-dumps land; `None` disables them.
+    flight_dir: Option<PathBuf>,
+    /// Monotone auto-dump counter, naming dump files stably.
+    flight_dumps: AtomicU64,
+    /// Tail-sampling keep probability for unremarkable request traces.
+    trace_sample: f64,
+    /// Requests at or above this many nanoseconds are always kept.
+    slow_ns: u64,
 }
 
 impl ServerState {
@@ -264,10 +323,20 @@ impl ServerState {
             .node_id
             .clone()
             .unwrap_or_else(|| minobs_obs::node_id_from_env(&local_addr.to_string()));
+        let sample = config.trace_sample.clamp(0.0, 1.0);
+        let slow_ms = config.trace_slow_ms.unwrap_or(config.slo_p99_ms);
+        let sampled = sample < 1.0;
+        let flight = FlightRecorder::with_meta(config.flight_events, Some(node_id.clone()), sampled);
         let trace = match &config.trace_path {
             Some(path) => {
                 let mut sink = JsonlSink::create(path)?;
                 sink.set_node_id(&node_id);
+                if sampled {
+                    // Mark the stream as tail-sampled so downstream tools
+                    // (`trace profile`'s coverage check) read missing span
+                    // blocks as dropped-by-policy, not instrumentation gaps.
+                    sink.record(TraceEvent::TraceSampled { sample, slow_ms });
+                }
                 TraceSink::File(sink)
             }
             None => TraceSink::None,
@@ -291,6 +360,11 @@ impl ServerState {
             ready_gauge: registry.gauge("svc.ready"),
             health_state: AtomicU64::new(u64::MAX),
             gossip_ctx: Mutex::new(None),
+            flight,
+            flight_dir: config.flight_dir.clone(),
+            flight_dumps: AtomicU64::new(0),
+            trace_sample: sample,
+            slow_ns: slow_ms.saturating_mul(1_000_000),
             registry,
         };
         state.open_wal(config)
@@ -309,6 +383,11 @@ impl ServerState {
                 if let TraceSink::File(sink) = &mut *lock(&self.trace) {
                     sink.on_wal_replay(report.records, report.bytes, report.dropped_tail);
                 }
+                // Clones share the ring; a throwaway clone borrows the
+                // `&mut self` Recorder hooks from a `&self` call site.
+                self.flight
+                    .clone()
+                    .on_wal_replay(report.records, report.bytes, report.dropped_tail);
                 *lock(&self.wal) = Some(wal);
                 self.replay = Some(report);
             }
@@ -318,7 +397,9 @@ impl ServerState {
     }
 
     /// Latches memory-only mode: drops the log handle, flips the
-    /// `svc.wal_degraded` gauge, and emits a `wal_degraded` trace event.
+    /// `svc.wal_degraded` gauge, emits a `wal_degraded` trace event, and
+    /// auto-dumps the flight ring — the history leading up to a disk
+    /// failure is exactly what post-hoc debugging wants.
     fn degrade_wal(&self, error: &io::Error) {
         lock(&self.wal).take();
         let message = error.to_string();
@@ -326,6 +407,8 @@ impl ServerState {
         if let TraceSink::File(sink) = &mut *lock(&self.trace) {
             sink.on_wal_degraded(&message);
         }
+        self.flight.clone().on_wal_degraded(&message);
+        self.auto_dump("wal_degraded");
     }
 
     fn append_wal(&self, record: &WalRecord) {
@@ -340,6 +423,7 @@ impl ServerState {
                 if let TraceSink::File(sink) = &mut *lock(&self.trace) {
                     sink.on_wal_append(op, key, bytes);
                 }
+                self.flight.clone().on_wal_append(op, key, bytes);
             }
             Err(e) => self.degrade_wal(&e),
         }
@@ -465,22 +549,57 @@ impl ServerState {
         if let TraceSink::File(sink) = &mut *lock(&self.trace) {
             sink.on_svc_request(seq, method);
         }
+        self.flight.clone().on_svc_request(seq, method);
     }
 
-    /// Folds one finished request into the metrics and the trace. The
-    /// request's buffered span events are flushed *as a block* right
-    /// before its `svc_response`, under the same lock acquisition, so the
-    /// shared trace stream interleaves whole requests — each block is
-    /// self-balanced and `trace_lint`'s span bracketing holds per stream.
-    fn on_response(
+    /// The tail-sampling verdict for one finished request. Errors,
+    /// budget-exhausted outcomes, requests at or above the slow
+    /// threshold, and anything served while the WAL is degraded are
+    /// always kept; the rest keep with probability `trace_sample`,
+    /// decided by [`sample_keep`] on the trace id so every node in a
+    /// fleet keeps or drops the same distributed trace.
+    pub(crate) fn keep_trace(
         &self,
         seq: u64,
-        method: &str,
         ok: bool,
-        cache: &'static str,
         nanos: u64,
-        spans: &[TraceEvent],
-    ) {
+        budget_exhausted: bool,
+        trace_id: Option<u128>,
+    ) -> bool {
+        if self.trace_sample >= 1.0 {
+            return true;
+        }
+        if !ok || budget_exhausted || nanos >= self.slow_ns {
+            return true;
+        }
+        if self.registry.gauge("svc.wal_degraded").get() != 0 {
+            return true;
+        }
+        // Context-free requests sample on the local seq: still
+        // deterministic, just not fleet-correlated (nothing to stitch).
+        sample_keep(trace_id.unwrap_or(u128::from(seq)), self.trace_sample)
+    }
+
+    /// Folds one finished request into the metrics, the trace, and the
+    /// flight ring. The request's buffered span events are flushed *as a
+    /// block* right before its `svc_response`, under the same lock
+    /// acquisition, so the shared trace stream interleaves whole requests
+    /// — each block is self-balanced and `trace_lint`'s span bracketing
+    /// holds per stream. When `keep` is false (tail sampling dropped the
+    /// trace) the span block is withheld from the trace file only: metrics
+    /// still fold every span, the `svc_request`/`svc_response` pair is
+    /// still written (lint pairing), and the flight ring still records
+    /// everything.
+    fn on_response(&self, finished: FinishedRequest<'_>) {
+        let FinishedRequest {
+            seq,
+            method,
+            ok,
+            cache,
+            nanos,
+            spans,
+            keep,
+        } = finished;
         if nanos > self.slo_target_ns {
             self.slo_violations.add(1);
         }
@@ -491,11 +610,58 @@ impl ServerState {
             }
             metrics.on_svc_response(seq, method, ok, cache, nanos);
         }
+        if keep && nanos > 0 {
+            if let Some(trace_id) = block_trace_id(spans) {
+                let bounds = Histogram::latency_bounds();
+                self.registry
+                    .histogram("svc.request_latency_ns", &bounds)
+                    .record_exemplar(nanos, trace_id);
+                self.registry
+                    .histogram(&format!("svc.method.{method}.latency_ns"), &bounds)
+                    .record_exemplar(nanos, trace_id);
+            }
+        }
         if let TraceSink::File(sink) = &mut *lock(&self.trace) {
-            for event in spans {
-                sink.record(event.clone());
+            if keep {
+                for event in spans {
+                    sink.record(event.clone());
+                }
             }
             sink.on_svc_response(seq, method, ok, cache, nanos);
+        }
+        self.flight.push_block(spans);
+        self.flight.clone().on_svc_response(seq, method, ok, cache, nanos);
+    }
+
+    /// The always-on flight ring; `dump_trace` snapshots it.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// The configured tail-sampling keep probability.
+    pub fn trace_sample(&self) -> f64 {
+        self.trace_sample
+    }
+
+    /// Auto-dumps taken so far (panic, WAL degradation, `peer_down`,
+    /// degrading health edges).
+    pub fn flight_dumps(&self) -> u64 {
+        self.flight_dumps.load(Ordering::SeqCst)
+    }
+
+    /// Writes a flight-ring snapshot into `flight_dir`, named by the
+    /// monotone dump counter plus the trigger reason. Disabled dir or a
+    /// failed write costs only the dump — incident evidence is
+    /// best-effort and must never take the serving path down with it.
+    fn auto_dump(&self, reason: &str) {
+        let Some(dir) = &self.flight_dir else { return };
+        let snapshot = self.flight.dump(reason);
+        let n = self.flight_dumps.fetch_add(1, Ordering::SeqCst);
+        let path = dir.join(format!("flight-{n:03}-{reason}.trace.jsonl"));
+        let written = std::fs::create_dir_all(dir)
+            .and_then(|()| std::fs::write(&path, snapshot.jsonl.as_bytes()));
+        if written.is_ok() {
+            self.registry.counter("svc.flight_dumps").add(1);
         }
     }
 
@@ -545,6 +711,13 @@ impl ServerState {
             if let TraceSink::File(sink) = &mut *lock(&self.trace) {
                 sink.on_health(status, ready, true);
             }
+            self.flight.clone().on_health(status, ready, true);
+            if !status_ok {
+                // Dump on the *degrading* edge only: the ring holds the
+                // lead-up to the burn, and edge-triggering means a long
+                // outage costs one dump, not one per probe.
+                self.auto_dump("health_degraded");
+            }
         }
         HealthReport {
             status,
@@ -580,11 +753,16 @@ impl ServerState {
             metrics.on_gossip_round(peer, sent, received, nanos);
         }
         if let TraceSink::File(sink) = &mut *lock(&self.trace) {
+            // Gossip exchanges are never sampled out: one per interval is
+            // cheap, and replication evidence is the first thing a
+            // cross-node incident reconstruction reaches for.
             for event in spans {
                 sink.record(event.clone());
             }
             sink.on_gossip_round(peer, sent, received, nanos);
         }
+        self.flight.push_block(spans);
+        self.flight.clone().on_gossip_round(peer, sent, received, nanos);
     }
 
     /// Records a failed gossip exchange; emits `peer_down` (once per
@@ -596,6 +774,8 @@ impl ServerState {
             if let TraceSink::File(sink) = &mut *lock(&self.trace) {
                 sink.on_peer_down(peer, failures);
             }
+            self.flight.clone().on_peer_down(peer, failures);
+            self.auto_dump("peer_down");
         }
     }
 
@@ -605,7 +785,28 @@ impl ServerState {
         if let TraceSink::File(sink) = &mut *lock(&self.trace) {
             sink.on_gossip_apply(peer, op, key, accepted);
         }
+        self.flight.clone().on_gossip_apply(peer, op, key, accepted);
     }
+}
+
+/// One finished request as the trace plane folds it: the response row,
+/// its buffered span block, and the tail-sampling verdict.
+struct FinishedRequest<'a> {
+    seq: u64,
+    method: &'a str,
+    ok: bool,
+    cache: &'static str,
+    nanos: u64,
+    spans: &'a [TraceEvent],
+    keep: bool,
+}
+
+/// The distributed trace id carried by a request's span block, if any.
+fn block_trace_id(spans: &[TraceEvent]) -> Option<u128> {
+    spans.iter().find_map(|event| match event {
+        TraceEvent::SpanStart { trace_id, .. } => *trace_id,
+        _ => None,
+    })
 }
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -866,6 +1067,7 @@ fn method_span(method: &str) -> &'static str {
         "metrics" => "rpc.metrics",
         "gossip" => "rpc.gossip",
         "health" => "rpc.health",
+        "dump_trace" => "rpc.dump_trace",
         "shutdown" => "rpc.shutdown",
         _ => "rpc.unknown",
     }
@@ -892,6 +1094,9 @@ fn worker_loop(state: &Arc<ServerState>, rx: &Receiver<Job>) {
             span.end(&mut request_spans);
         }
         let (result, disposition) = outcome.unwrap_or_else(|_| {
+            // The ring just recorded the request that blew up; snapshot
+            // it before the error response papers over the evidence.
+            state.auto_dump("panic");
             (
                 Err(RpcError::new("internal", "method handler panicked")),
                 "none",
@@ -915,14 +1120,26 @@ fn worker_loop(state: &Arc<ServerState>, rx: &Receiver<Job>) {
                 }
             }
         }
-        state.on_response(
+        let budget_exhausted = result.as_ref().ok().is_some_and(|value| {
+            value.get("budget_exhausted").is_some()
+                || value.get("outcome").and_then(Value::as_str) == Some("budget_exhausted")
+        });
+        let keep = state.keep_trace(
             job.seq,
-            &job.request.method,
             ok,
-            disposition,
             nanos,
-            &events,
+            budget_exhausted,
+            job.request.ctx.as_ref().map(|ctx| ctx.trace_id),
         );
+        state.on_response(FinishedRequest {
+            seq: job.seq,
+            method: &job.request.method,
+            ok,
+            cache: disposition,
+            nanos,
+            spans: &events,
+            keep,
+        });
         let reply = match result {
             Ok(value) => wire::ok_response(job.request.id, value),
             Err(e) => wire::err_response(job.request.id, e.code, &e.message),

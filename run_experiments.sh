@@ -30,9 +30,19 @@ echo
 echo "================================================================"
 echo ">>> bench_checker (minobs/bench/v1 perf trajectory, checker side)"
 echo "================================================================"
+# The recorded trajectories are measured under the same observation
+# regime CI runs: tail sampling configured (slow_ms=0 keeps every
+# timed request, so nothing is actually dropped) and the always-on
+# flight ring. The artifacts stamp this into meta.sampling so a perf
+# number is attributable to the regime it was measured under.
+export MINOBS_TRACE_SAMPLE=0.01
+export MINOBS_TRACE_SLOW_MS=0
+
 # The recorded checker baseline: the pinned exp_budget configuration
-# (total_budget(4) at horizons 4/5), timed. Lands at the repo root so
-# the trajectory is versioned alongside the code it measures.
+# (total_budget(4) at horizons 4/5), timed; plus the shape gauges
+# (peak frontier, dedup ratio) from one instrumented pass. Lands at
+# the repo root so the trajectory is versioned alongside the code it
+# measures.
 cargo run --release --quiet --bin bench_checker -- --out BENCH_checker.json
 
 echo

@@ -11,8 +11,10 @@
 //! `#[ignore]`d like the other long-haul suites; the CI `cluster` job
 //! runs it with `-- --ignored`.
 
+use minobs_bench::lint::lint;
 use minobs_chaos::link::{LinkFault, LinkFaultPlan};
 use minobs_cluster::{LinkPolicy, LinkVerdict};
+use minobs_obs::TraceContext;
 use minobs_svc::client::SvcClient;
 use minobs_svc::server::{serve, Server, SvcConfig};
 use minobs_svc::ClusterClient;
@@ -281,11 +283,11 @@ fn traced_request_threads_one_trace_id_across_nodes() {
         .collect();
     let mut servers: Vec<Server> = Vec::with_capacity(NODES);
     let mut addrs: Vec<String> = Vec::with_capacity(NODES);
-    for index in 0..NODES {
+    for (index, trace_path) in trace_paths.iter().enumerate() {
         let server = serve(SvcConfig {
             peers: addrs.clone(),
             gossip_interval: GOSSIP_INTERVAL,
-            trace_path: Some(trace_paths[index].clone()),
+            trace_path: Some(trace_path.clone()),
             node_id: Some(format!("node{index}")),
             ..SvcConfig::default()
         })
@@ -371,6 +373,112 @@ fn traced_request_threads_one_trace_id_across_nodes() {
         .expect("a peer recorded the ctx-carrying rpc.gossip span");
     assert_eq!(field(gossip, "ctx_parent"), Some(exchange_span));
     assert_ne!(gossip_node, rpc_node, "the trace must cross nodes");
+}
+
+/// The post-hoc incident path end to end: boot a three-node fleet under
+/// CI's aggressive tail-sampling regime (`sample = 0.01`, but
+/// `slow_ms = 0` so every timed request counts as slow and is kept),
+/// issue one traced request, then pull every node's flight ring through
+/// the `dump_trace` RPC. Each dump must be a lint-clean
+/// `minobs/trace/v1` stream, the request's trace id must appear in at
+/// least two nodes' dumps (the serving node's rpc root plus a peer's
+/// ctx-carrying replication hop — the fixture `trace stitch`
+/// reassembles), and the same id must surface as an exemplar in the
+/// serving node's Prometheus exposition.
+#[test]
+fn fleet_dump_trace_reassembles_a_cross_node_trace() {
+    let mut servers: Vec<Server> = Vec::with_capacity(NODES);
+    let mut addrs: Vec<String> = Vec::with_capacity(NODES);
+    for index in 0..NODES {
+        let server = serve(SvcConfig {
+            peers: addrs.clone(),
+            gossip_interval: GOSSIP_INTERVAL,
+            node_id: Some(format!("node{index}")),
+            trace_sample: 0.01,
+            trace_slow_ms: Some(0),
+            ..SvcConfig::default()
+        })
+        .expect("bind an ephemeral port");
+        addrs.push(server.local_addr().to_string());
+        servers.push(server);
+    }
+
+    // Mint the root context by hand so the test knows which trace id to
+    // hunt for in the dumps, and target the last node: it gossips to
+    // both peers, so its miss triggers ctx-carrying exchanges.
+    let ctx = TraceContext::root();
+    let hex = ctx.trace_id_hex();
+    let mut client = SvcClient::connect(addrs[NODES - 1].as_str()).unwrap();
+    let fresh = client
+        .call_with_ctx("check_horizon", check_params("r1", 3), &ctx)
+        .unwrap();
+    assert_eq!(fresh.get("cached").and_then(Value::as_bool), Some(false));
+
+    // Full replication implies the serving node completed the exchanges
+    // that carried the stashed ctx to its peers.
+    let replicated = wait_until(CONVERGE_DEADLINE, || {
+        servers
+            .iter()
+            .all(|server| !server.state().cache().snapshot().is_empty())
+    });
+    assert!(replicated, "verdict never replicated to every node");
+
+    // Pull every node's flight ring over the wire — the same surface
+    // `svc dump --all` drives.
+    let mut dumps: Vec<(String, String)> = Vec::new();
+    for addr in &addrs {
+        let mut client = SvcClient::connect(addr.as_str()).unwrap();
+        let dump = client.call("dump_trace", Value::Null).unwrap();
+        let node = dump
+            .get("node_id")
+            .and_then(Value::as_str)
+            .expect("dump_trace reports its node identity")
+            .to_string();
+        let jsonl = dump
+            .get("jsonl")
+            .and_then(Value::as_str)
+            .expect("dump_trace inlines the JSONL stream")
+            .to_string();
+        dumps.push((node, jsonl));
+    }
+
+    // Every per-node dump stands alone as a valid trace stream.
+    for (node, jsonl) in &dumps {
+        lint(jsonl).unwrap_or_else(|err| panic!("{node} dump fails trace_lint: {err}"));
+    }
+
+    // The kept request's id crosses node boundaries: the serving node
+    // recorded the rpc root and at least one *other* node recorded the
+    // replicated hop under the same trace.
+    let carriers: Vec<&str> = dumps
+        .iter()
+        .filter(|(_, jsonl)| jsonl.contains(hex.as_str()))
+        .map(|(node, _)| node.as_str())
+        .collect();
+    assert!(
+        carriers.contains(&format!("node{}", NODES - 1).as_str()),
+        "serving node's dump lost the kept request (carriers: {carriers:?})"
+    );
+    assert!(
+        carriers.len() >= 2,
+        "trace {hex} should appear in >= 2 nodes' dumps, found {carriers:?}"
+    );
+
+    // The same id is the request's exemplar in the serving node's
+    // Prometheus exposition (per-method histogram, so later dump_trace
+    // calls cannot displace it).
+    let mut client = SvcClient::connect(addrs[NODES - 1].as_str()).unwrap();
+    let metrics = client.call("metrics", Value::Null).unwrap();
+    let text = metrics
+        .get("text")
+        .and_then(Value::as_str)
+        .expect("metrics RPC inlines the exposition");
+    assert!(
+        text.contains(&format!("trace_id=\"{hex}\"")),
+        "serving node's exposition lacks the request's exemplar"
+    );
+
+    shutdown(servers);
 }
 
 /// The tier-1 pinned-seed chaos check: one sampled partition plan,

@@ -433,6 +433,156 @@ fn client_side_queued_is_visible(addr: &str) {
     assert_eq!(queued, 1, "idle daemon: only the stats call itself in flight");
 }
 
+#[test]
+fn wal_degradation_auto_dumps_the_flight_ring() {
+    let base = std::env::temp_dir().join(format!("minobs_svc_wal_dump_{}", std::process::id()));
+    let flight_dir = base.join("flight");
+    std::fs::create_dir_all(&base).unwrap();
+    // A directory is unopenable as a WAL file: the daemon degrades at
+    // startup instead of dying, and the degradation edge auto-dumps.
+    let config = SvcConfig {
+        wal_path: Some(base.clone()),
+        flight_dir: Some(flight_dir.clone()),
+        ..SvcConfig::default()
+    };
+    let server = serve(config).expect("WAL degradation keeps the daemon up");
+    let state = std::sync::Arc::clone(server.state());
+    server.shutdown();
+    server.join();
+
+    assert!(
+        state.registry().gauge("svc.wal_degraded").get() != 0,
+        "daemon should be running degraded"
+    );
+    assert_eq!(state.registry().counter("svc.flight_dumps").get(), 1);
+    let dump_path = flight_dir.join("flight-000-wal_degraded.trace.jsonl");
+    let dump = std::fs::read_to_string(&dump_path)
+        .unwrap_or_else(|e| panic!("auto-dump missing at {}: {e}", dump_path.display()));
+    minobs_bench::lint::lint(&dump)
+        .unwrap_or_else(|err| panic!("auto-dump not lint-clean: {err}"));
+    let header: Value = serde_json::from_str(dump.lines().next().unwrap()).unwrap();
+    assert_eq!(
+        header.get("event").and_then(Value::as_str),
+        Some("flight_dump")
+    );
+    assert_eq!(
+        header.get("reason").and_then(Value::as_str),
+        Some("wal_degraded")
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn dump_trace_rpc_is_lint_clean_and_kept_requests_surface_exemplars() {
+    // Sampled daemon, but a slow-keep threshold of 0 ms keeps every
+    // trace — the CI trigger shape.
+    let config = SvcConfig {
+        trace_sample: 0.01,
+        trace_slow_ms: Some(0),
+        ..SvcConfig::default()
+    };
+    let server = serve(config).expect("bind an ephemeral port");
+    let addr = server.local_addr().to_string();
+    let mut client = SvcClient::connect(addr.as_str()).unwrap();
+    for _ in 0..3 {
+        client
+            .call("check_horizon", check_params("s1", 2))
+            .unwrap();
+    }
+
+    // The flight ring replays as a well-formed bounded trace on demand.
+    let dump = client.call("dump_trace", Value::Null).unwrap();
+    let jsonl = dump
+        .get("jsonl")
+        .and_then(Value::as_str)
+        .expect("dump_trace returns the dump inline");
+    assert!(dump.get("node_id").and_then(Value::as_str).is_some());
+    assert!(dump.get("events").and_then(Value::as_u64).unwrap_or(0) > 0);
+    minobs_bench::lint::lint(jsonl)
+        .unwrap_or_else(|err| panic!("dump_trace output not lint-clean: {err}"));
+    let header: Value = serde_json::from_str(jsonl.lines().next().unwrap()).unwrap();
+    assert_eq!(header.get("reason").and_then(Value::as_str), Some("rpc"));
+    assert_eq!(header.get("sampled").and_then(Value::as_bool), Some(true));
+
+    // Kept requests pin their trace id to the latency buckets: the
+    // OpenMetrics exposition carries an exemplar on a finite bucket...
+    let metrics = client.call("metrics", Value::Null).unwrap();
+    let text = metrics.get("text").and_then(Value::as_str).unwrap();
+    assert!(
+        text.contains("# {trace_id=\""),
+        "no exemplar in exposition:\n{text}"
+    );
+    // ...and stats.latency names the slowest bucket's trace outright.
+    let stats = client.call("stats", Value::Null).unwrap();
+    let exemplar = stats
+        .get("latency")
+        .and_then(|l| l.get("check_horizon"))
+        .and_then(|m| m.get("exemplar_trace_id"))
+        .and_then(Value::as_str)
+        .unwrap_or_else(|| panic!("no exemplar_trace_id in stats: {stats:?}"));
+    assert_eq!(exemplar.len(), 32, "trace id is 32 hex digits: {exemplar}");
+    assert!(exemplar.bytes().all(|b| b.is_ascii_hexdigit()));
+
+    client.call("shutdown", Value::Null).unwrap();
+    server.join();
+}
+
+#[test]
+fn tail_sampling_drops_unremarkable_span_blocks_but_keeps_pairing() {
+    let trace_path = std::env::temp_dir().join(format!(
+        "minobs_svc_sampled_{}.trace.jsonl",
+        std::process::id()
+    ));
+    // Keep probability 0 with the default slow threshold: every fast,
+    // successful request's span block is sampled out.
+    let config = SvcConfig {
+        trace_path: Some(trace_path.clone()),
+        trace_sample: 0.0,
+        ..SvcConfig::default()
+    };
+    let server = serve(config).expect("bind an ephemeral port");
+    let addr = server.local_addr().to_string();
+    let mut client = SvcClient::connect(addr.as_str()).unwrap();
+    for _ in 0..5 {
+        client
+            .call("check_horizon", check_params("s1", 2))
+            .unwrap();
+    }
+    client.call("shutdown", Value::Null).unwrap();
+    server.join();
+
+    let trace = std::fs::read_to_string(&trace_path).expect("daemon trace written");
+    // The stream declares itself sampled, stays lint-clean (request/
+    // response pairing is never sampled out), and dropped at least some
+    // span blocks.
+    minobs_bench::lint::lint(&trace)
+        .unwrap_or_else(|err| panic!("sampled trace not lint-clean: {err}"));
+    assert!(
+        trace.lines().any(|line| {
+            let v: Value = serde_json::from_str(line).unwrap();
+            v.get("event").and_then(Value::as_str) == Some("trace_sampled")
+        }),
+        "sampled stream must carry its trace_sampled marker"
+    );
+    let count = |kind: &str| {
+        trace
+            .lines()
+            .filter(|line| {
+                let v: Value = serde_json::from_str(line).unwrap();
+                v.get("event").and_then(Value::as_str) == Some(kind)
+            })
+            .count()
+    };
+    let requests = count("svc_request");
+    assert_eq!(requests, 6, "5 checks + shutdown all paired");
+    assert_eq!(count("svc_response"), requests);
+    assert!(
+        count("span_start") < requests,
+        "sampling at 0.0 should drop unremarkable span blocks"
+    );
+    let _ = std::fs::remove_file(&trace_path);
+}
+
 /// Acceptance: repeated `check_horizon` on a warm cache is at least 10×
 /// the cold throughput. Run explicitly (release mode recommended):
 /// `cargo test --release --test svc_service -- --ignored`.
